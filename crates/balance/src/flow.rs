@@ -1,0 +1,167 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Used by the exact workload solver ([`crate::exact`]): deciding whether
+//! every edge can be assigned to an endpoint with all workloads ≤ k is a
+//! bipartite b-matching, i.e. a max-flow instance.
+
+/// A directed flow network with integer capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    // Arcs stored as parallel arrays; `to[i]` is the head of arc i, and
+    // arc i^1 is its residual twin.
+    to: Vec<u32>,
+    cap: Vec<i64>,
+    head: Vec<Vec<u32>>, // per-node arc ids
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        Self {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds a directed arc `u → v` with the given capacity (plus its
+    /// zero-capacity residual). Returns the arc id.
+    pub fn add_arc(&mut self, u: usize, v: usize, capacity: i64) -> usize {
+        assert!(capacity >= 0, "capacity must be non-negative");
+        let id = self.to.len();
+        self.to.push(v as u32);
+        self.cap.push(capacity);
+        self.head[u].push(id as u32);
+        self.to.push(u as u32);
+        self.cap.push(0);
+        self.head[v].push(id as u32 + 1);
+        id
+    }
+
+    /// Remaining capacity of an arc (inspect after running flow).
+    pub fn residual(&self, arc: usize) -> i64 {
+        self.cap[arc]
+    }
+
+    /// Flow pushed through an arc equals the twin's gained capacity.
+    pub fn flow(&self, arc: usize) -> i64 {
+        self.cap[arc ^ 1]
+    }
+
+    /// Computes the maximum flow from `s` to `t` (Dinic).
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.num_nodes();
+        let mut total = 0i64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![u32::MAX; n];
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &aid in &self.head[u] {
+                    let v = self.to[aid as usize] as usize;
+                    if self.cap[aid as usize] > 0 && level[v] == u32::MAX {
+                        level[v] = level[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if level[t] == u32::MAX {
+                return total;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut iter = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(s, t, i64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[u32], iter: &mut [usize]) -> i64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u] < self.head[u].len() {
+            let aid = self.head[u][iter[u]] as usize;
+            let v = self.to[aid] as usize;
+            if self.cap[aid] > 0 && level[v] == level[u] + 1 {
+                let pushed = self.dfs(v, t, limit.min(self.cap[aid]), level, iter);
+                if pushed > 0 {
+                    self.cap[aid] -= pushed;
+                    self.cap[aid ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5);
+        net.add_arc(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two paths with a cross edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 10);
+        net.add_arc(0, 2, 10);
+        net.add_arc(1, 2, 1);
+        net.add_arc(1, 3, 8);
+        net.add_arc(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 18);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 7);
+        net.add_arc(2, 3, 7);
+        assert_eq!(net.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn flow_and_residual_accessors() {
+        let mut net = FlowNetwork::new(2);
+        let a = net.add_arc(0, 1, 4);
+        assert_eq!(net.max_flow(0, 1), 4);
+        assert_eq!(net.flow(a), 4);
+        assert_eq!(net.residual(a), 0);
+    }
+
+    #[test]
+    fn bipartite_matching_via_flow() {
+        // 3 left nodes, 3 right nodes, perfect matching exists.
+        // Nodes: 0=s, 1..=3 left, 4..=6 right, 7=t.
+        let mut net = FlowNetwork::new(8);
+        for l in 1..=3 {
+            net.add_arc(0, l, 1);
+            net.add_arc(l + 3, 7, 1);
+        }
+        net.add_arc(1, 4, 1);
+        net.add_arc(1, 5, 1);
+        net.add_arc(2, 5, 1);
+        net.add_arc(3, 6, 1);
+        assert_eq!(net.max_flow(0, 7), 3);
+    }
+}

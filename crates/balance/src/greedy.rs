@@ -1,0 +1,125 @@
+//! Greedy initialization (Algorithm 1, Eq. 15).
+//!
+//! For every edge `{u, v}`, each endpoint keeps the neighbor whose rounded
+//! log-degree is at least its own: `N_u ∋ v ⇔ round(ln deg v) ≥
+//! round(ln deg u)`. The effect is that the higher-degree endpoint of a
+//! lopsided edge drops it, filling the workload gap between devices with a
+//! significant degree difference. Taking logarithms both shrinks the
+//! bit-width of the secure comparison (§V-C: `O(max_v deg(v) · L log L)`
+//! per device) and avoids churn between near-equal degrees.
+
+use lumos_graph::Graph;
+
+use crate::oracle::CompareOracle;
+use crate::problem::Assignment;
+
+/// Bit width used for secure comparisons of rounded log-degrees. Degrees
+/// below 2^32 have `round(ln d) ≤ 23`, so 6 bits suffice; we use 8 to match
+/// a byte on the wire.
+pub const LOG_DEGREE_BITS: u32 = 8;
+
+/// `round(ln deg)` with the convention that isolated vertices map to 0.
+pub fn rounded_log_degree(deg: usize) -> u64 {
+    if deg == 0 {
+        0
+    } else {
+        (deg as f64).ln().round() as u64
+    }
+}
+
+/// Runs Algorithm 1: one secure comparison per edge (the outcome is shared
+/// by both endpoints), producing the initial retained-neighbor sets.
+pub fn greedy_init(g: &Graph, oracle: &mut dyn CompareOracle) -> Assignment {
+    let logs: Vec<u64> = (0..g.num_nodes() as u32)
+        .map(|v| rounded_log_degree(g.degree(v)))
+        .collect();
+    let mut keep: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+    for (u, v) in g.edges() {
+        // One protocol run per edge; both endpoints learn the ordering.
+        let ord = oracle.compare(logs[u as usize], logs[v as usize], LOG_DEGREE_BITS);
+        // Line 4 of Alg. 1 for endpoint u: keep v iff log(v) >= log(u),
+        // i.e. iff NOT (log(u) > log(v)).
+        if ord != std::cmp::Ordering::Greater {
+            keep[u as usize].push(v);
+        }
+        // Symmetric decision for endpoint v.
+        if ord != std::cmp::Ordering::Less {
+            keep[v as usize].push(u);
+        }
+    }
+    Assignment::from_sets(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{MeteredPlainOracle, SecureOracle};
+    use lumos_common::rng::Xoshiro256pp;
+    use lumos_graph::generate::{homophilous_powerlaw, PowerLawConfig};
+
+    #[test]
+    fn rounded_log_degree_values() {
+        assert_eq!(rounded_log_degree(0), 0);
+        assert_eq!(rounded_log_degree(1), 0);
+        assert_eq!(rounded_log_degree(3), 1);
+        assert_eq!(rounded_log_degree(20), 3);
+        assert_eq!(rounded_log_degree(150), 5);
+    }
+
+    #[test]
+    fn star_graph_center_sheds_leaves() {
+        // Star: center 0 with 8 leaves. round(ln 8)=2 > round(ln 1)=0, so
+        // the center keeps nothing and each leaf keeps the center.
+        let edges: Vec<(u32, u32)> = (1..=8).map(|v| (0u32, v)).collect();
+        let g = Graph::from_edges(9, &edges);
+        let mut oracle = MeteredPlainOracle::new();
+        let a = greedy_init(&g, &mut oracle);
+        assert_eq!(a.workload(0), 0, "hub drops all branches");
+        for v in 1..=8u32 {
+            assert_eq!(a.kept(v), &[0]);
+        }
+        a.check_feasible(&g).unwrap();
+        assert_eq!(oracle.comparisons(), 8, "one comparison per edge");
+    }
+
+    #[test]
+    fn equal_degrees_keep_both_directions() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut oracle = MeteredPlainOracle::new();
+        let a = greedy_init(&g, &mut oracle);
+        assert!(a.keeps(0, 1) && a.keeps(1, 0));
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_reduces_max_on_powerlaw_graphs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let labels: Vec<u32> = (0..800).map(|_| rng.next_below(4) as u32).collect();
+        let g = homophilous_powerlaw(&labels, &PowerLawConfig::default(), &mut rng);
+        let mut oracle = MeteredPlainOracle::new();
+        let a = greedy_init(&g, &mut oracle);
+        a.check_feasible(&g).unwrap();
+        assert!(
+            a.objective() < g.max_degree(),
+            "greedy must cut the maximum: {} vs {}",
+            a.objective(),
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn secure_and_plain_oracles_build_identical_assignments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let labels: Vec<u32> = (0..120).map(|_| rng.next_below(3) as u32).collect();
+        let cfg = PowerLawConfig {
+            max_degree: 40,
+            ..Default::default()
+        };
+        let g = homophilous_powerlaw(&labels, &cfg, &mut rng);
+        let mut secure = SecureOracle::new(9);
+        let mut plain = MeteredPlainOracle::new();
+        let a = greedy_init(&g, &mut secure);
+        let b = greedy_init(&g, &mut plain);
+        assert_eq!(a, b);
+        assert_eq!(secure.meter(), plain.meter(), "cost models must agree");
+    }
+}

@@ -1,0 +1,27 @@
+//! `lumos-balance` — the heterogeneity-aware workload balancer (§V).
+//!
+//! Contains the min–max workload-balancing problem (Eq. 10, NP-hard by
+//! Theorem 1), the greedy initialization of Algorithm 1, the secure
+//! max-workload location protocol of Algorithm 3, and the MCMC /
+//! Metropolis–Hastings iteration of Algorithm 2 whose tail behaviour is
+//! bounded by Theorem 2. All private-value comparisons run through a
+//! [`CompareOracle`](oracle::CompareOracle), which either executes the real
+//! simulated two-party circuits or charges the identical cost model.
+
+pub mod analysis;
+pub mod exact;
+pub mod flow;
+pub mod greedy;
+pub mod maxfind;
+pub mod mcmc;
+pub mod oracle;
+pub mod problem;
+
+pub use analysis::{degree_ecdf, summarize, workload_ecdf, BalanceSummary};
+pub use exact::{solve_exact, ExactSolution};
+pub use flow::FlowNetwork;
+pub use greedy::{greedy_init, rounded_log_degree, LOG_DEGREE_BITS};
+pub use maxfind::{find_max_workload_device, MaxFindOutcome, ServerTraffic, WORKLOAD_BITS};
+pub use mcmc::{mcmc_balance, McmcConfig, McmcOutcome, McmcStats};
+pub use oracle::{make_oracle, CompareOracle, MeteredPlainOracle, SecureOracle, SecurityMode};
+pub use problem::{objective_lower_bound, Assignment};

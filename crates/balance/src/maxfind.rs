@@ -1,0 +1,171 @@
+//! Finding the device with the maximum workload (Algorithm 3).
+//!
+//! Devices may not share workloads in the clear, so the protocol runs in
+//! two phases of secure comparisons:
+//!
+//! 1. every device compares its workload with each ego-network neighbor;
+//!    local maxima report themselves to the server as the *candidate vertex
+//!    set* (CVS);
+//! 2. the CVS members compare pairwise; the overall winner is reported, and
+//!    ties are broken by the server uniformly at random.
+
+use lumos_common::rng::Xoshiro256pp;
+use lumos_graph::Graph;
+
+use crate::oracle::CompareOracle;
+use crate::problem::Assignment;
+
+/// Bit width for workload comparisons (workloads are bounded by the maximum
+/// degree; 16 bits covers graphs up to degree 65,535).
+pub const WORKLOAD_BITS: u32 = 16;
+
+/// Communication with the coordinating server during Algorithm 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerTraffic {
+    /// Candidate/no-candidate notifications (phase 1) and winner reports
+    /// (phase 2).
+    pub messages: u64,
+}
+
+/// Result of one Algorithm 3 execution.
+#[derive(Debug, Clone)]
+pub struct MaxFindOutcome {
+    /// The selected device (maximum workload; ties broken randomly).
+    pub device: u32,
+    /// Size of the candidate vertex set after phase 1.
+    pub cvs_size: usize,
+    /// Server-bound messages consumed.
+    pub server: ServerTraffic,
+}
+
+/// Runs Algorithm 3 on the current assignment.
+///
+/// # Panics
+/// Panics if the graph has no vertices.
+pub fn find_max_workload_device(
+    g: &Graph,
+    assignment: &Assignment,
+    oracle: &mut dyn CompareOracle,
+    rng: &mut Xoshiro256pp,
+) -> MaxFindOutcome {
+    let n = g.num_nodes();
+    assert!(n > 0, "empty system");
+    let wl = |v: u32| assignment.workload(v) as u64;
+
+    // Phase 1 (device operation 1): each device checks whether it is a
+    // local maximum among its ego-network neighbors. Each edge is compared
+    // once; both endpoints learn the ordering, mirroring the pairwise
+    // protocol runs of Alg. 1.
+    let mut is_candidate = vec![true; n];
+    for (u, v) in g.edges() {
+        match oracle.compare(wl(u), wl(v), WORKLOAD_BITS) {
+            std::cmp::Ordering::Greater => is_candidate[v as usize] = false,
+            std::cmp::Ordering::Less => is_candidate[u as usize] = false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    let mut server = ServerTraffic::default();
+    // Every device sends its candidate flag to the server (Alg. 3 line 16).
+    server.messages += n as u64;
+    let cvs: Vec<u32> = (0..n as u32).filter(|&v| is_candidate[v as usize]).collect();
+
+    // Phase 2 (device operation 2): candidates compare pairwise.
+    let mut best: Vec<u32> = Vec::new();
+    let mut best_wl: Option<u64> = None;
+    for &c in &cvs {
+        match best_wl {
+            None => {
+                best.push(c);
+                best_wl = Some(wl(c));
+            }
+            Some(current) => match oracle.compare(wl(c), current, WORKLOAD_BITS) {
+                std::cmp::Ordering::Greater => {
+                    best.clear();
+                    best.push(c);
+                    best_wl = Some(wl(c));
+                }
+                std::cmp::Ordering::Equal => best.push(c),
+                std::cmp::Ordering::Less => {}
+            },
+        }
+    }
+    // Each candidate reports its "am I the largest" verdict (line 18).
+    server.messages += cvs.len() as u64;
+
+    // Ties: the server picks uniformly at random (footnote 5).
+    let device = *rng.choose(&best);
+    MaxFindOutcome {
+        device,
+        cvs_size: cvs.len(),
+        server,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::MeteredPlainOracle;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(500)
+    }
+
+    #[test]
+    fn finds_the_unique_maximum() {
+        // Star with center 0: workloads 4,1,1,1,1 under the full assignment.
+        let edges: Vec<(u32, u32)> = (1..=4).map(|v| (0u32, v)).collect();
+        let g = Graph::from_edges(5, &edges);
+        let a = Assignment::full(&g);
+        let mut oracle = MeteredPlainOracle::new();
+        let out = find_max_workload_device(&g, &a, &mut oracle, &mut rng());
+        assert_eq!(out.device, 0);
+        assert_eq!(out.cvs_size, 1, "only the hub survives phase 1");
+        assert_eq!(out.server.messages, 5 + 1);
+    }
+
+    #[test]
+    fn result_matches_plain_argmax_on_random_graphs() {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        for trial in 0..20 {
+            let g = lumos_graph::generate::erdos_renyi(40, 0.15, &mut r);
+            let a = Assignment::full(&g);
+            let mut oracle = MeteredPlainOracle::new();
+            let out = find_max_workload_device(&g, &a, &mut oracle, &mut r);
+            let max_wl = a.workloads().into_iter().max().unwrap();
+            assert_eq!(
+                a.workload(out.device),
+                max_wl,
+                "trial {trial}: protocol must select a max-workload device"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_are_broken_among_true_maxima() {
+        // Two disjoint edges: all four devices have workload 1 and all are
+        // candidates; any of them is a legal answer.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let a = Assignment::full(&g);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..40u64 {
+            let mut oracle = MeteredPlainOracle::new();
+            let mut r = Xoshiro256pp::seed_from_u64(seed);
+            let out = find_max_workload_device(&g, &a, &mut oracle, &mut r);
+            assert_eq!(a.workload(out.device), 1);
+            seen.insert(out.device);
+        }
+        assert!(seen.len() > 1, "tie-break should vary with server randomness");
+    }
+
+    #[test]
+    fn comparison_count_is_edges_plus_cvs_pairs() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let a = Assignment::full(&g);
+        let mut oracle = MeteredPlainOracle::new();
+        let out = find_max_workload_device(&g, &a, &mut oracle, &mut rng());
+        // Phase 1: 3 edges. Phase 2: sequential scan of the CVS performs
+        // |CVS| - 1 comparisons (first candidate enters for free).
+        let expected = 3 + (out.cvs_size as u64 - 1);
+        assert_eq!(oracle.comparisons(), expected);
+    }
+}

@@ -1,0 +1,259 @@
+//! MCMC iteration (Algorithm 2) with Metropolis–Hastings acceptance.
+//!
+//! Starting from the greedy assignment, each iteration moves `k` branches
+//! off the currently most-loaded device `u` (Eq. 17, with `k` sampled from
+//! `1..=round(ln |N_u|)`), then accepts the move with probability
+//! `min(1, e^{f(X_t) − f(X'_t)})` (Eq. 18). The most-loaded device is found
+//! with Algorithm 3 and the objective difference with the secure-difference
+//! protocol, so no workload is ever revealed in the clear. Theorem 2 bounds
+//! the probability that the chain settles far from the optimum.
+
+use lumos_common::rng::Xoshiro256pp;
+use lumos_crypto::CommMeter;
+use lumos_graph::Graph;
+
+use crate::maxfind::{find_max_workload_device, ServerTraffic};
+use crate::oracle::CompareOracle;
+use crate::problem::Assignment;
+
+/// Configuration for the MCMC balancer.
+#[derive(Debug, Clone)]
+pub struct McmcConfig {
+    /// Number of iterations `T` (the paper uses 1,000 for Facebook and 300
+    /// for LastFM).
+    pub iterations: usize,
+    /// Seed for proposal sampling and tie breaking.
+    pub seed: u64,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 300,
+            seed: 0x0BA1_A4CE,
+        }
+    }
+}
+
+/// Statistics of one MCMC run.
+#[derive(Debug, Clone, Default)]
+pub struct McmcStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Accepted transitions.
+    pub accepted: usize,
+    /// Device-to-device assignment update messages (Alg. 2 line 9).
+    pub device_messages: u64,
+    /// Server traffic from the embedded Algorithm 3 runs.
+    pub server: ServerTraffic,
+    /// Secure-protocol communication (comparisons + differences).
+    pub secure: CommMeter,
+    /// Number of secure comparisons.
+    pub comparisons: u64,
+}
+
+/// Result of the MCMC balancer.
+#[derive(Debug, Clone)]
+pub struct McmcOutcome {
+    /// Final assignment.
+    pub assignment: Assignment,
+    /// Objective value after each iteration (simulator-side trace for
+    /// reporting; devices never see it in the clear).
+    pub trace: Vec<usize>,
+    /// Run statistics.
+    pub stats: McmcStats,
+}
+
+/// Runs Algorithm 2 for `cfg.iterations` iterations.
+pub fn mcmc_balance(
+    g: &Graph,
+    mut assignment: Assignment,
+    cfg: &McmcConfig,
+    oracle: &mut dyn CompareOracle,
+) -> McmcOutcome {
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+    let mut stats = McmcStats::default();
+    let mut trace = Vec::with_capacity(cfg.iterations);
+    let meter_base = oracle.meter();
+    let comparisons_base = oracle.comparisons();
+
+    for _ in 0..cfg.iterations {
+        stats.iterations += 1;
+
+        // Line 2: locate the most-loaded device under X_t.
+        let before = find_max_workload_device(g, &assignment, oracle, &mut rng);
+        stats.server.messages += before.server.messages;
+        let u = before.device;
+        let wl_u = assignment.workload(u);
+        if wl_u == 0 {
+            // Perfectly empty maximum: nothing to balance.
+            trace.push(assignment.objective());
+            continue;
+        }
+        let f_old = wl_u as i64;
+
+        // Lines 3–4: sample the step size and the branches to move.
+        let k_max = ((wl_u as f64).ln().round() as usize).max(1).min(wl_u);
+        let k = 1 + rng.index(k_max);
+        let picks: Vec<u32> = rng
+            .sample_indices(wl_u, k)
+            .into_iter()
+            .map(|i| assignment.kept(u)[i])
+            .collect();
+
+        // Line 5: form X'_t (remembering prior state for rollback).
+        let prior: Vec<bool> = picks.iter().map(|&v| assignment.keeps(v, u)).collect();
+        for &v in &picks {
+            assignment.transfer(u, v);
+        }
+
+        // Line 6: most-loaded device under X'_t.
+        let after = find_max_workload_device(g, &assignment, oracle, &mut rng);
+        stats.server.messages += after.server.messages;
+        let f_new = assignment.workload(after.device) as i64;
+
+        // Line 7: devices {u, u'} compute f(X_t) − f(X'_t) securely.
+        let delta = oracle.difference(f_old, f_new);
+
+        // Line 8 (Eq. 18): Metropolis–Hastings acceptance.
+        let accept = if delta >= 0 {
+            true
+        } else {
+            rng.bernoulli((delta as f64).exp())
+        };
+
+        if accept {
+            stats.accepted += 1;
+            // Line 9: u broadcasts the accepted state to the k movers.
+            stats.device_messages += k as u64;
+        } else {
+            for (&v, &was) in picks.iter().zip(&prior).rev() {
+                assignment.untransfer(u, v, was);
+            }
+        }
+        trace.push(assignment.objective());
+    }
+
+    stats.secure = oracle.meter().since(&meter_base);
+    stats.comparisons = oracle.comparisons() - comparisons_base;
+    McmcOutcome {
+        assignment,
+        trace,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_init;
+    use crate::oracle::MeteredPlainOracle;
+    use crate::problem::objective_lower_bound;
+    use lumos_graph::generate::{homophilous_powerlaw, PowerLawConfig};
+
+    fn powerlaw_graph(n: usize, seed: u64) -> Graph {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let labels: Vec<u32> = (0..n).map(|_| rng.next_below(4) as u32).collect();
+        homophilous_powerlaw(&labels, &PowerLawConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn mcmc_keeps_feasibility_and_does_not_worsen_much() {
+        let g = powerlaw_graph(400, 9);
+        let mut oracle = MeteredPlainOracle::new();
+        let init = greedy_init(&g, &mut oracle);
+        let init_obj = init.objective();
+        let cfg = McmcConfig {
+            iterations: 150,
+            seed: 4,
+        };
+        let out = mcmc_balance(&g, init, &cfg, &mut oracle);
+        out.assignment.check_feasible(&g).unwrap();
+        assert_eq!(out.trace.len(), 150);
+        // MH can accept slightly worse states transiently, but the end state
+        // should not be worse than the start (on this scale it improves or
+        // ties with overwhelming probability).
+        assert!(
+            out.assignment.objective() <= init_obj,
+            "final {} vs init {init_obj}",
+            out.assignment.objective()
+        );
+        assert!(out.assignment.objective() >= objective_lower_bound(&g));
+    }
+
+    #[test]
+    fn mcmc_improves_a_star_imbalance() {
+        // Star + ring: greedy on a star leaves the hub empty, but starting
+        // from the *full* assignment the hub has everything; MCMC must shed
+        // hub branches.
+        let mut edges: Vec<(u32, u32)> = (1..=12).map(|v| (0u32, v)).collect();
+        edges.extend((1..12).map(|v| (v as u32, v as u32 + 1)));
+        let g = Graph::from_edges(13, &edges);
+        let full = Assignment::full(&g);
+        assert_eq!(full.objective(), 12);
+        let mut oracle = MeteredPlainOracle::new();
+        let cfg = McmcConfig {
+            iterations: 200,
+            seed: 7,
+        };
+        let out = mcmc_balance(&g, full, &cfg, &mut oracle);
+        out.assignment.check_feasible(&g).unwrap();
+        assert!(
+            out.assignment.objective() <= 6,
+            "hub should shed load, got {}",
+            out.assignment.objective()
+        );
+        assert!(out.stats.accepted > 0);
+    }
+
+    #[test]
+    fn trace_is_recorded_and_stats_counted() {
+        let g = powerlaw_graph(120, 11);
+        let mut oracle = MeteredPlainOracle::new();
+        let init = greedy_init(&g, &mut oracle);
+        let cfg = McmcConfig {
+            iterations: 25,
+            seed: 1,
+        };
+        let out = mcmc_balance(&g, init, &cfg, &mut oracle);
+        assert_eq!(out.stats.iterations, 25);
+        assert!(out.stats.comparisons > 0);
+        assert!(out.stats.secure.messages > 0);
+        assert!(out.stats.server.messages > 0);
+        // Two Alg-3 sweeps per iteration, each comparing every edge.
+        assert!(out.stats.comparisons >= 2 * 25 * g.num_edges() as u64);
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let g = powerlaw_graph(60, 2);
+        let mut oracle = MeteredPlainOracle::new();
+        let init = greedy_init(&g, &mut oracle);
+        let snapshot = init.clone();
+        let cfg = McmcConfig {
+            iterations: 0,
+            seed: 0,
+        };
+        let out = mcmc_balance(&g, init, &cfg, &mut oracle);
+        assert_eq!(out.assignment, snapshot);
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = powerlaw_graph(200, 3);
+        let run = || {
+            let mut oracle = MeteredPlainOracle::new();
+            let init = greedy_init(&g, &mut oracle);
+            let cfg = McmcConfig {
+                iterations: 50,
+                seed: 99,
+            };
+            mcmc_balance(&g, init, &cfg, &mut oracle)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.trace, b.trace);
+    }
+}

@@ -1,0 +1,199 @@
+//! The workload-balancing problem (Eq. 9–10).
+//!
+//! The decision variable `x_(u,v) = 1` means "device u includes neighbor v
+//! in its tree"; an [`Assignment`] stores the retained-neighbor sets `N_u`.
+//! The objective `f(X) = max_u |N_u|` is minimized subject to every edge
+//! appearing in at least one tree (`x_(u,v) + x_(v,u) ≥ 1`). Theorem 1
+//! proves the problem NP-hard (reduction to min–max colored TSP), which is
+//! why Lumos approximates it with greedy + MCMC.
+
+use lumos_graph::Graph;
+
+/// Retained-neighbor sets for every device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    keep: Vec<Vec<u32>>,
+}
+
+impl Assignment {
+    /// Creates an assignment where every device keeps all its neighbors
+    /// (the untrimmed trees — "Lumos w.o. TT" in the ablation).
+    pub fn full(g: &Graph) -> Self {
+        Self {
+            keep: (0..g.num_nodes() as u32)
+                .map(|v| g.neighbors(v).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Creates an assignment from explicit per-device sets.
+    pub fn from_sets(keep: Vec<Vec<u32>>) -> Self {
+        let mut keep = keep;
+        for set in &mut keep {
+            set.sort_unstable();
+            set.dedup();
+        }
+        Self { keep }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Retained neighbors of device `u` (sorted).
+    pub fn kept(&self, u: u32) -> &[u32] {
+        &self.keep[u as usize]
+    }
+
+    /// Workload of device `u`: `wl(u) = |N_u|`.
+    pub fn workload(&self, u: u32) -> usize {
+        self.keep[u as usize].len()
+    }
+
+    /// All workloads.
+    pub fn workloads(&self) -> Vec<usize> {
+        self.keep.iter().map(|s| s.len()).collect()
+    }
+
+    /// The objective `f(X) = max_u |N_u|` (0 for an empty system).
+    pub fn objective(&self) -> usize {
+        self.keep.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Whether `v ∈ N_u`.
+    pub fn keeps(&self, u: u32, v: u32) -> bool {
+        self.keep[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Applies the transition of Eq. 16: `N_u ← N_u \ {v}`,
+    /// `N_v ← N_v ∪ {u}`. Returns `false` (and does nothing) if `v ∉ N_u`.
+    pub fn transfer(&mut self, u: u32, v: u32) -> bool {
+        let Ok(pos) = self.keep[u as usize].binary_search(&v) else {
+            return false;
+        };
+        self.keep[u as usize].remove(pos);
+        if let Err(ins) = self.keep[v as usize].binary_search(&u) {
+            self.keep[v as usize].insert(ins, u);
+        }
+        true
+    }
+
+    /// Reverses [`Assignment::transfer`] given whether `u` was already in
+    /// `N_v` beforehand.
+    pub fn untransfer(&mut self, u: u32, v: u32, v_kept_u_before: bool) {
+        if let Err(ins) = self.keep[u as usize].binary_search(&v) {
+            self.keep[u as usize].insert(ins, v);
+        }
+        if !v_kept_u_before {
+            if let Ok(pos) = self.keep[v as usize].binary_search(&u) {
+                self.keep[v as usize].remove(pos);
+            }
+        }
+    }
+
+    /// Checks the covering constraint of Eq. 10: every edge of `g` is
+    /// retained by at least one endpoint, and no device keeps a non-neighbor.
+    pub fn check_feasible(&self, g: &Graph) -> Result<(), String> {
+        if self.keep.len() != g.num_nodes() {
+            return Err("device count mismatch".into());
+        }
+        for (u, set) in self.keep.iter().enumerate() {
+            for &v in set {
+                if !g.has_edge(u as u32, v) {
+                    return Err(format!("device {u} keeps non-neighbor {v}"));
+                }
+            }
+        }
+        for (u, v) in g.edges() {
+            if !self.keeps(u, v) && !self.keeps(v, u) {
+                return Err(format!("edge ({u},{v}) is covered by neither tree"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total retained entries `Σ_u |N_u|` (the total system workload).
+    pub fn total_workload(&self) -> usize {
+        self.keep.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// A trivial lower bound on the optimal objective: every edge must be kept
+/// somewhere, so some device carries at least `⌈|E| / |V|⌉`; and a vertex
+/// pair connected by an edge has at least one retainer, so
+/// `f(X*) ≥ max(1, ⌈|E|/|V|⌉)` whenever `|E| > 0`.
+pub fn objective_lower_bound(g: &Graph) -> usize {
+    if g.num_edges() == 0 {
+        0
+    } else {
+        g.num_edges().div_ceil(g.num_nodes()).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn full_assignment_keeps_everything() {
+        let g = path_graph();
+        let a = Assignment::full(&g);
+        assert_eq!(a.workloads(), vec![1, 2, 2, 1]);
+        assert_eq!(a.objective(), 2);
+        assert_eq!(a.total_workload(), 2 * g.num_edges());
+        a.check_feasible(&g).unwrap();
+    }
+
+    #[test]
+    fn transfer_moves_the_edge() {
+        let g = path_graph();
+        let mut a = Assignment::full(&g);
+        let before = a.keeps(2, 1);
+        assert!(before, "full assignment keeps both directions");
+        assert!(a.transfer(1, 2));
+        assert!(!a.keeps(1, 2));
+        assert!(a.keeps(2, 1));
+        a.check_feasible(&g).unwrap();
+        // Transfer of an absent neighbor is a no-op.
+        assert!(!a.transfer(1, 2));
+    }
+
+    #[test]
+    fn untransfer_restores_state() {
+        let g = path_graph();
+        let mut a = Assignment::from_sets(vec![vec![1], vec![2], vec![3], vec![]]);
+        a.check_feasible(&g).unwrap();
+        let v_kept = a.keeps(2, 1);
+        assert!(!v_kept);
+        let snapshot = a.clone();
+        assert!(a.transfer(1, 2));
+        a.untransfer(1, 2, v_kept);
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn infeasible_assignments_are_detected() {
+        let g = path_graph();
+        // Edge (1,2) uncovered.
+        let a = Assignment::from_sets(vec![vec![1], vec![], vec![], vec![2]]);
+        assert!(a.check_feasible(&g).is_err());
+        // Device keeps a non-neighbor.
+        let b = Assignment::from_sets(vec![vec![3], vec![0, 2], vec![3], vec![]]);
+        assert!(b.check_feasible(&g).is_err());
+    }
+
+    #[test]
+    fn lower_bound_is_sane() {
+        let g = path_graph();
+        assert_eq!(objective_lower_bound(&g), 1);
+        let empty = Graph::new(3);
+        assert_eq!(objective_lower_bound(&empty), 0);
+        let dense = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(objective_lower_bound(&dense), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! `lumos-baselines` — the comparison systems of §VIII-C.
+//!
+//! * **Centralized GNN** — server sees the true graph, raw features and
+//!   labels (upper reference).
+//! * **LPGNN-like** — server-known structure, multi-bit-privatized features
+//!   (ε_x) and randomized-response labels (ε_y), with KProp denoising.
+//! * **Naive FedGNN** — Gaussian-noised features, randomized-response
+//!   adjacency and labels, trained on the noised graph (lower reference).
+//!
+//! All three share one plain-graph training loop so the only differences
+//! are the privatized inputs, making the comparison a controlled one.
+
+pub mod common;
+pub mod systems;
+
+pub use common::{train_plain, PlainRun};
+pub use systems::{
+    run_centralized, run_lpgnn, run_naive_fedgnn, BaselineConfig, LpgnnParams, NaiveFedParams,
+};

@@ -1,0 +1,68 @@
+//! Cost of the workload balancer: greedy initialization, Algorithm 3, and
+//! MCMC iterations — including the greedy-vs-raw ablation called out in
+//! DESIGN.md.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_balance::{
+    find_max_workload_device, greedy_init, mcmc_balance, Assignment, McmcConfig,
+    MeteredPlainOracle,
+};
+use lumos_common::rng::Xoshiro256pp;
+use lumos_data::{Dataset, Scale};
+
+fn bench_greedy(c: &mut Criterion) {
+    let ds = Dataset::facebook_like(Scale::Smoke);
+    c.bench_function("greedy_init_smoke", |b| {
+        b.iter(|| {
+            let mut oracle = MeteredPlainOracle::new();
+            black_box(greedy_init(&ds.graph, &mut oracle))
+        })
+    });
+}
+
+fn bench_alg3(c: &mut Criterion) {
+    let ds = Dataset::facebook_like(Scale::Smoke);
+    let assignment = Assignment::full(&ds.graph);
+    c.bench_function("find_max_workload_smoke", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        b.iter(|| {
+            let mut oracle = MeteredPlainOracle::new();
+            black_box(find_max_workload_device(
+                &ds.graph,
+                &assignment,
+                &mut oracle,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_mcmc(c: &mut Criterion) {
+    let ds = Dataset::facebook_like(Scale::Smoke);
+    // Ablation: MCMC seeded by greedy vs from the raw full assignment.
+    c.bench_function("mcmc_30_iters_after_greedy", |b| {
+        b.iter(|| {
+            let mut oracle = MeteredPlainOracle::new();
+            let init = greedy_init(&ds.graph, &mut oracle);
+            let cfg = McmcConfig { iterations: 30, seed: 1 };
+            black_box(mcmc_balance(&ds.graph, init, &cfg, &mut oracle))
+        })
+    });
+    c.bench_function("mcmc_30_iters_from_full", |b| {
+        b.iter(|| {
+            let mut oracle = MeteredPlainOracle::new();
+            let init = Assignment::full(&ds.graph);
+            let cfg = McmcConfig { iterations: 30, seed: 1 };
+            black_box(mcmc_balance(&ds.graph, init, &cfg, &mut oracle))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_greedy, bench_alg3, bench_mcmc
+}
+criterion_main!(benches);

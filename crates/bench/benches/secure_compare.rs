@@ -1,0 +1,45 @@
+//! Cost of the secure two-party protocols behind the tree constructor.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_crypto::{ot_transfer, secure_compare, secure_difference, CommMeter, OtDealer, TwoParty};
+
+fn bench_ot(c: &mut Criterion) {
+    c.bench_function("ot_transfer", |b| {
+        let mut dealer = OtDealer::new(7);
+        let mut meter = CommMeter::new();
+        b.iter(|| black_box(ot_transfer(1, 2, true, &mut dealer, &mut meter)))
+    });
+}
+
+fn bench_compare(c: &mut Criterion) {
+    for bits in [8u32, 16, 32] {
+        c.bench_function(&format!("secure_compare_{bits}bit"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut ctx = TwoParty::new(seed);
+                black_box(secure_compare(&mut ctx, 123 % (1 << (bits - 1)), 99, bits))
+            })
+        });
+    }
+}
+
+fn bench_difference(c: &mut Criterion) {
+    c.bench_function("secure_difference", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut ctx = TwoParty::new(seed);
+            black_box(secure_difference(&mut ctx, 1234, 987))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ot, bench_compare, bench_difference
+}
+criterion_main!(benches);

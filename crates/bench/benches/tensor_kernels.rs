@@ -1,0 +1,51 @@
+//! Microbenchmarks of the tensor kernels that dominate a training epoch.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_common::rng::Xoshiro256pp;
+use lumos_tensor::kernels::{gather_rows, scatter_add_rows, segment_softmax};
+use lumos_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let a = Tensor::rand_uniform(2048, 192, -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(192, 16, -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_2048x192x16", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&w))))
+    });
+    let g = Tensor::rand_uniform(2048, 16, -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_tn_backward_2048x192x16", |b| {
+        b.iter(|| black_box(a.matmul_tn(black_box(&g))))
+    });
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    let x = Tensor::rand_uniform(4096, 16, -1.0, 1.0, &mut rng);
+    let idx: Vec<u32> = (0..12_288).map(|_| rng.next_below(4096) as u32).collect();
+    c.bench_function("gather_rows_12k_of_4k", |b| {
+        b.iter(|| black_box(gather_rows(black_box(&x), black_box(&idx))))
+    });
+    let msgs = gather_rows(&x, &idx);
+    c.bench_function("scatter_add_rows_12k_into_4k", |b| {
+        b.iter(|| black_box(scatter_add_rows(black_box(&msgs), black_box(&idx), 4096)))
+    });
+}
+
+fn bench_segment_softmax(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    let logits = Tensor::rand_uniform(12_288, 4, -2.0, 2.0, &mut rng);
+    let mut seg: Vec<u32> = (0..12_288).map(|_| rng.next_below(4096) as u32).collect();
+    seg.sort_unstable();
+    c.bench_function("segment_softmax_12k_arcs_4_heads", |b| {
+        b.iter(|| black_box(segment_softmax(black_box(&logits), black_box(&seg), 4096)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_gather_scatter, bench_segment_softmax
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Cost of one full training run at smoke scale: Lumos (trimmed vs
+//! untrimmed trees) and the centralized reference.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_baselines::{run_centralized, BaselineConfig};
+use lumos_core::{run_lumos, LumosConfig, TaskKind};
+use lumos_data::{Dataset, Scale};
+use lumos_gnn::Backbone;
+
+fn bench_epoch(c: &mut Criterion) {
+    let ds = Dataset::facebook_like(Scale::Smoke);
+    // Three epochs per iteration: setup cost amortized, per-epoch time is
+    // the dominant term (Fig. 8b's quantity).
+    c.bench_function("lumos_3_epochs_smoke_trimmed", |b| {
+        b.iter(|| {
+            let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+                .with_epochs(3)
+                .with_mcmc_iterations(10);
+            black_box(run_lumos(&ds, &cfg))
+        })
+    });
+    c.bench_function("lumos_3_epochs_smoke_untrimmed", |b| {
+        b.iter(|| {
+            let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+                .with_epochs(3)
+                .with_mcmc_iterations(10)
+                .without_tree_trimming();
+            black_box(run_lumos(&ds, &cfg))
+        })
+    });
+    c.bench_function("centralized_3_epochs_smoke", |b| {
+        b.iter(|| {
+            let cfg = BaselineConfig::new(Backbone::Gcn, TaskKind::Supervised).with_epochs(3);
+            black_box(run_centralized(&ds, &cfg))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Command-line arguments shared by every experiment binary.
+
+use lumos_data::Scale;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Base seed.
+    pub seed: u64,
+    /// Quick mode: fewer epochs (for CI-style smoke runs).
+    pub quick: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            seed: 2023,
+            quick: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale smoke|small|paper`, `--seed N`, `--quick` from the
+    /// process arguments. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
+                    out.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| usage(&format!("unknown scale '{v}'")));
+                }
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    out.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("bad seed '{v}'")));
+                }
+                "--quick" => out.quick = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        out
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <experiment> [--scale smoke|small|paper] [--seed N] [--quick]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_flags() {
+        let d = HarnessArgs::parse_from(Vec::<String>::new());
+        assert_eq!(d.scale, Scale::Small);
+        assert!(!d.quick);
+        let p = HarnessArgs::parse_from(
+            ["--scale", "smoke", "--seed", "7", "--quick"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(p.scale, Scale::Smoke);
+        assert_eq!(p.seed, 7);
+        assert!(p.quick);
+    }
+}

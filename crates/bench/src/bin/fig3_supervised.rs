@@ -1,0 +1,9 @@
+//! Regenerates Figure 3 (supervised classification accuracy).
+use lumos_bench::{fig3, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let rows = fig3::run(&args);
+    fig3::table(&rows).print();
+    fig3::summary(&rows).print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (link-prediction ROC-AUC).
+use lumos_bench::{fig4, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    fig4::table(&fig4::run(&args)).print();
+}

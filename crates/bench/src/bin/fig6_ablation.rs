@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (ablation study).
+use lumos_bench::{fig6, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    fig6::table(&fig6::run(&args)).print();
+}

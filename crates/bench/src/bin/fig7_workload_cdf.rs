@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (workload CDFs).
+use lumos_bench::{fig7, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    fig7::table(&fig7::run(&args)).print();
+}

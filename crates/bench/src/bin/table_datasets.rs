@@ -1,0 +1,7 @@
+//! Regenerates the §VIII-A dataset table.
+use lumos_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    lumos_bench::table1::run(args.scale).print();
+}

@@ -1,0 +1,144 @@
+//! Figure 3: supervised node-classification accuracy — Lumos vs centralized
+//! GNN vs LPGNN vs naive FedGNN, for GCN and GAT on both datasets.
+
+use lumos_baselines::{
+    run_centralized, run_lpgnn, run_naive_fedgnn, BaselineConfig, LpgnnParams, NaiveFedParams,
+};
+use lumos_common::table::{fmt2, Table};
+use lumos_core::{run_lumos, LumosConfig, TaskKind};
+use lumos_data::Dataset;
+use lumos_gnn::Backbone;
+
+use crate::args::HarnessArgs;
+use crate::presets::{datasets, epochs_for, mcmc_iterations_for, run_pair};
+
+/// One result row of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Backbone name.
+    pub backbone: String,
+    /// Accuracy per system.
+    pub lumos: f64,
+    /// Centralized accuracy.
+    pub centralized: f64,
+    /// LPGNN accuracy.
+    pub lpgnn: f64,
+    /// Naive FedGNN accuracy.
+    pub naive: f64,
+}
+
+fn eval_dataset(ds: &Dataset, args: &HarnessArgs) -> Vec<Fig3Row> {
+    let task = TaskKind::Supervised;
+    let epochs = epochs_for(args.scale, task, args.quick);
+    let mcmc = mcmc_iterations_for(args.scale, &ds.name);
+    [Backbone::Gcn, Backbone::Gat]
+        .into_iter()
+        .map(|backbone| {
+            let lumos_cfg = LumosConfig::new(backbone, task)
+                .with_epochs(epochs)
+                .with_mcmc_iterations(mcmc)
+                .with_seed(args.seed);
+            let base_cfg = BaselineConfig::new(backbone, task)
+                .with_epochs(epochs)
+                .with_seed(args.seed);
+            let lumos = run_lumos(ds, &lumos_cfg).test_metric;
+            let centralized = run_centralized(ds, &base_cfg).test_metric;
+            let lpgnn = run_lpgnn(ds, &base_cfg, &LpgnnParams::default()).test_metric;
+            let naive = run_naive_fedgnn(ds, &base_cfg, &NaiveFedParams::default()).test_metric;
+            Fig3Row {
+                dataset: ds.name.clone(),
+                backbone: backbone.name().into(),
+                lumos,
+                centralized,
+                lpgnn,
+                naive,
+            }
+        })
+        .collect()
+}
+
+/// Runs the Figure 3 experiment, returning the rows.
+pub fn run(args: &HarnessArgs) -> Vec<Fig3Row> {
+    let ds = datasets(args.scale);
+    let (fb, lfm) = (&ds[0], &ds[1]);
+    let (a, b) = run_pair(|| eval_dataset(fb, args), || eval_dataset(lfm, args));
+    a.into_iter().chain(b).collect()
+}
+
+/// Renders the rows as the paper's bar-chart table (accuracy in %).
+pub fn table(rows: &[Fig3Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 3: label classification accuracy (%)",
+        &["dataset", "backbone", "Lumos", "Centralized", "LPGNN", "Naive FedGNN"],
+    );
+    for r in rows {
+        t.push_row([
+            r.dataset.clone(),
+            r.backbone.clone(),
+            fmt2(100.0 * r.lumos),
+            fmt2(100.0 * r.centralized),
+            fmt2(100.0 * r.lpgnn),
+            fmt2(100.0 * r.naive),
+        ]);
+    }
+    t
+}
+
+/// The paper's headline comparisons computed from the rows.
+pub fn summary(rows: &[Fig3Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 3 follow-ups (paper §VIII-D1 claims)",
+        &["dataset", "backbone", "loss vs centralized (%)", "gain vs LPGNN (%)", "gain vs naive (%)"],
+    );
+    for r in rows {
+        t.push_row([
+            r.dataset.clone(),
+            r.backbone.clone(),
+            fmt2((r.centralized - r.lumos) / r.centralized * 100.0),
+            fmt2((r.lumos - r.lpgnn) / r.lpgnn * 100.0),
+            fmt2((r.lumos - r.naive) / r.naive * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_data::Scale;
+
+    /// Smoke-scale end-to-end check of the paper's ordering:
+    /// centralized ≥ Lumos > naive, and Lumos ≥ LPGNN - small tolerance.
+    #[test]
+    fn ordering_holds_at_smoke_scale() {
+        let args = HarnessArgs {
+            scale: Scale::Smoke,
+            seed: 5,
+            quick: false,
+        };
+        let rows = run(&args);
+        assert_eq!(rows.len(), 4);
+        for r in rows.iter().filter(|r| r.backbone == "GCN") {
+            assert!(
+                r.centralized >= r.lumos,
+                "{}: centralized {} vs lumos {}",
+                r.dataset,
+                r.centralized,
+                r.lumos
+            );
+            assert!(
+                r.lumos > r.naive,
+                "{}: lumos {} vs naive {}",
+                r.dataset,
+                r.lumos,
+                r.naive
+            );
+        }
+        let t = table(&rows);
+        assert_eq!(t.len(), 4);
+        let s = summary(&rows);
+        assert_eq!(s.len(), 4);
+    }
+}

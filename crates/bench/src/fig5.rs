@@ -1,0 +1,111 @@
+//! Figure 5: sensitivity of the privacy parameter ε ∈ {0.5, 1, 2, 4} on
+//! Lumos's accuracy (supervised) and AUC (unsupervised), GCN backbone.
+
+use lumos_common::table::{fmt2, fmt4, Table};
+use lumos_core::{run_lumos, LumosConfig, TaskKind};
+use lumos_data::Dataset;
+use lumos_gnn::Backbone;
+
+use crate::args::HarnessArgs;
+use crate::presets::{datasets, epochs_for, mcmc_iterations_for, run_pair};
+
+/// The ε grid of Figure 5.
+pub const EPSILONS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// One series: metric per ε for a dataset/task.
+#[derive(Debug, Clone)]
+pub struct Fig5Series {
+    /// Dataset name.
+    pub dataset: String,
+    /// Task.
+    pub task: TaskKind,
+    /// `(ε, metric)` pairs in grid order.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn eval_dataset(ds: &Dataset, args: &HarnessArgs) -> Vec<Fig5Series> {
+    let mcmc = mcmc_iterations_for(args.scale, &ds.name);
+    [TaskKind::Supervised, TaskKind::Unsupervised]
+        .into_iter()
+        .map(|task| {
+            let epochs = epochs_for(args.scale, task, args.quick);
+            let points = EPSILONS
+                .iter()
+                .map(|&eps| {
+                    let cfg = LumosConfig::new(Backbone::Gcn, task)
+                        .with_epochs(epochs)
+                        .with_mcmc_iterations(mcmc)
+                        .with_seed(args.seed)
+                        .with_epsilon(eps);
+                    (eps, run_lumos(ds, &cfg).test_metric)
+                })
+                .collect();
+            Fig5Series {
+                dataset: ds.name.clone(),
+                task,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Runs the Figure 5 sweep.
+pub fn run(args: &HarnessArgs) -> Vec<Fig5Series> {
+    let ds = datasets(args.scale);
+    let (fb, lfm) = (&ds[0], &ds[1]);
+    let (a, b) = run_pair(|| eval_dataset(fb, args), || eval_dataset(lfm, args));
+    a.into_iter().chain(b).collect()
+}
+
+/// Renders both panels of Figure 5.
+pub fn table(series: &[Fig5Series]) -> Table {
+    let mut t = Table::new(
+        "Figure 5: effect of privacy parameter ε (GCN)",
+        &["dataset", "task", "ε=0.5", "ε=1", "ε=2", "ε=4"],
+    );
+    for s in series {
+        let fmt: fn(f64) -> String = match s.task {
+            TaskKind::Supervised => |x| fmt2(100.0 * x),
+            TaskKind::Unsupervised => fmt4,
+        };
+        t.push_row([
+            s.dataset.clone(),
+            s.task.name().to_string(),
+            fmt(s.points[0].1),
+            fmt(s.points[1].1),
+            fmt(s.points[2].1),
+            fmt(s.points[3].1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_data::Scale;
+
+    /// At smoke scale, accuracy at ε=4 should beat ε=0.5 (the paper's
+    /// monotone trend, within noise).
+    #[test]
+    fn larger_epsilon_helps_supervised() {
+        let args = HarnessArgs {
+            scale: Scale::Smoke,
+            seed: 1,
+            quick: false,
+        };
+        let ds = lumos_data::Dataset::facebook_like(Scale::Smoke);
+        let series = eval_dataset(&ds, &args);
+        let sup = series
+            .iter()
+            .find(|s| s.task == TaskKind::Supervised)
+            .unwrap();
+        let lo = sup.points[0].1;
+        let hi = sup.points[3].1;
+        assert!(
+            hi >= lo - 0.02,
+            "ε=4 ({hi}) should not be clearly worse than ε=0.5 ({lo})"
+        );
+        assert_eq!(table(&series).len(), 2);
+    }
+}

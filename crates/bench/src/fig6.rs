@@ -1,0 +1,124 @@
+//! Figure 6: ablation study — Lumos vs Lumos w/o virtual nodes (VN) vs
+//! Lumos w/o tree trimming (TT), on accuracy and AUC.
+
+use lumos_common::table::{fmt2, fmt4, Table};
+use lumos_core::{run_lumos, LumosConfig, TaskKind};
+use lumos_data::Dataset;
+use lumos_gnn::Backbone;
+
+use crate::args::HarnessArgs;
+use crate::presets::{datasets, epochs_for, mcmc_iterations_for, run_pair};
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Backbone name.
+    pub backbone: String,
+    /// Task.
+    pub task: TaskKind,
+    /// Full Lumos metric.
+    pub lumos: f64,
+    /// Without virtual nodes.
+    pub without_vn: f64,
+    /// Without tree trimming.
+    pub without_tt: f64,
+}
+
+fn eval_dataset(ds: &Dataset, args: &HarnessArgs) -> Vec<Fig6Row> {
+    let mcmc = mcmc_iterations_for(args.scale, &ds.name);
+    let mut rows = Vec::new();
+    for task in [TaskKind::Supervised, TaskKind::Unsupervised] {
+        // The ablation deltas emerge well before full convergence; trim the
+        // unsupervised schedule to keep the 24-run grid tractable.
+        let epochs = match task {
+            TaskKind::Supervised => epochs_for(args.scale, task, args.quick),
+            TaskKind::Unsupervised => epochs_for(args.scale, task, args.quick) * 2 / 5,
+        };
+        for backbone in [Backbone::Gcn, Backbone::Gat] {
+            let base = LumosConfig::new(backbone, task)
+                .with_epochs(epochs)
+                .with_mcmc_iterations(mcmc)
+                .with_seed(args.seed);
+            let lumos = run_lumos(ds, &base).test_metric;
+            let without_vn = run_lumos(ds, &base.clone().without_virtual_nodes()).test_metric;
+            let without_tt = run_lumos(ds, &base.clone().without_tree_trimming()).test_metric;
+            rows.push(Fig6Row {
+                dataset: ds.name.clone(),
+                backbone: backbone.name().into(),
+                task,
+                lumos,
+                without_vn,
+                without_tt,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the Figure 6 ablations.
+pub fn run(args: &HarnessArgs) -> Vec<Fig6Row> {
+    let ds = datasets(args.scale);
+    let (fb, lfm) = (&ds[0], &ds[1]);
+    let (a, b) = run_pair(|| eval_dataset(fb, args), || eval_dataset(lfm, args));
+    a.into_iter().chain(b).collect()
+}
+
+/// Renders both panels of Figure 6.
+pub fn table(rows: &[Fig6Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 6: ablation — accuracy/AUC contribution of each module",
+        &["dataset", "backbone", "task", "Lumos", "w.o. VN", "w.o. TT"],
+    );
+    for r in rows {
+        let fmt: fn(f64) -> String = match r.task {
+            TaskKind::Supervised => |x| fmt2(100.0 * x),
+            TaskKind::Unsupervised => fmt4,
+        };
+        t.push_row([
+            r.dataset.clone(),
+            r.backbone.clone(),
+            r.task.name().to_string(),
+            fmt(r.lumos),
+            fmt(r.without_vn),
+            fmt(r.without_tt),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_data::Scale;
+
+    /// The paper's two ablation findings at smoke scale (GCN, supervised):
+    /// virtual nodes help; trimming costs almost nothing.
+    #[test]
+    fn ablation_shapes_hold_at_smoke_scale() {
+        let args = HarnessArgs {
+            scale: Scale::Smoke,
+            seed: 2,
+            quick: false,
+        };
+        let ds = lumos_data::Dataset::facebook_like(Scale::Smoke);
+        let rows = eval_dataset(&ds, &args);
+        let sup_gcn = rows
+            .iter()
+            .find(|r| r.task == TaskKind::Supervised && r.backbone == "GCN")
+            .unwrap();
+        assert!(
+            sup_gcn.lumos > sup_gcn.without_vn,
+            "virtual nodes must help: {} vs {}",
+            sup_gcn.lumos,
+            sup_gcn.without_vn
+        );
+        assert!(
+            (sup_gcn.lumos - sup_gcn.without_tt).abs() < 0.12,
+            "trimming must be nearly free: {} vs {}",
+            sup_gcn.lumos,
+            sup_gcn.without_tt
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 7: CDF of per-device workload with and without tree trimming.
+
+use lumos_balance::SecurityMode;
+use lumos_common::stats::Ecdf;
+use lumos_common::table::{fmt2, Table};
+use lumos_core::construct_assignment;
+use lumos_data::Dataset;
+
+use crate::args::HarnessArgs;
+use crate::presets::{datasets, mcmc_iterations_for};
+
+/// Workload distributions for one dataset.
+#[derive(Debug)]
+pub struct Fig7Result {
+    /// Dataset name.
+    pub dataset: String,
+    /// CDF of trimmed workloads.
+    pub trimmed: Ecdf,
+    /// CDF of untrimmed workloads (raw degrees).
+    pub untrimmed: Ecdf,
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(args: &HarnessArgs) -> Vec<Fig7Result> {
+    datasets(args.scale)
+        .into_iter()
+        .map(|ds: Dataset| {
+            let mcmc = mcmc_iterations_for(args.scale, &ds.name);
+            let (_, trimmed_rep) = construct_assignment(
+                &ds.graph,
+                true,
+                mcmc,
+                SecurityMode::CostModel,
+                args.seed,
+            );
+            let (_, full_rep) = construct_assignment(
+                &ds.graph,
+                false,
+                0,
+                SecurityMode::CostModel,
+                args.seed,
+            );
+            Fig7Result {
+                dataset: ds.name,
+                trimmed: Ecdf::new(
+                    trimmed_rep.workloads.iter().map(|&w| w as f64).collect(),
+                ),
+                untrimmed: Ecdf::new(
+                    full_rep.workloads.iter().map(|&w| w as f64).collect(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Renders the CDF series on a shared grid plus the max-workload headline
+/// (the paper: Facebook 39 vs >150, LastFM 16 vs >100).
+pub fn table(results: &[Fig7Result]) -> Table {
+    let mut t = Table::new(
+        "Figure 7: workload CDF with/without tree trimming",
+        &["dataset", "series", "max", "P(w≤5)", "P(w≤10)", "P(w≤20)", "P(w≤40)", "P(w≤80)"],
+    );
+    for r in results {
+        for (name, e) in [("Lumos", &r.trimmed), ("Lumos w.o. TT", &r.untrimmed)] {
+            t.push_row([
+                r.dataset.clone(),
+                name.to_string(),
+                format!("{}", e.max() as u64),
+                fmt2(e.eval(5.0)),
+                fmt2(e.eval(10.0)),
+                fmt2(e.eval(20.0)),
+                fmt2(e.eval(40.0)),
+                fmt2(e.eval(80.0)),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_data::Scale;
+
+    #[test]
+    fn trimming_removes_the_heavy_tail() {
+        let args = HarnessArgs {
+            scale: Scale::Smoke,
+            seed: 4,
+            quick: false,
+        };
+        let results = run(&args);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(
+                r.trimmed.max() * 2.0 <= r.untrimmed.max(),
+                "{}: trimmed max {} vs untrimmed {}",
+                r.dataset,
+                r.trimmed.max(),
+                r.untrimmed.max()
+            );
+            // CDF dominance at the tail: more mass below 20 after trimming.
+            assert!(r.trimmed.eval(20.0) >= r.untrimmed.eval(20.0));
+        }
+        assert_eq!(table(&results).len(), 4);
+    }
+}

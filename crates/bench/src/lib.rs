@@ -1,0 +1,19 @@
+//! `lumos-bench` — the experiment harness.
+//!
+//! One module per table/figure of the paper's evaluation (§VIII); each has a
+//! matching binary in `src/bin/`. All experiments accept `--scale
+//! smoke|small|paper` (default `small`), `--seed N`, and print the
+//! series/rows the paper reports as markdown tables (plus CSV on request).
+
+pub mod args;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod presets;
+pub mod table1;
+
+pub use args::HarnessArgs;
+pub use presets::{epochs_for, mcmc_iterations_for};

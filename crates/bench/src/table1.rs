@@ -1,0 +1,60 @@
+//! §VIII-A dataset table: generated statistics vs the paper's datasets.
+
+use lumos_common::table::Table;
+use lumos_data::Scale;
+use lumos_graph::generate::edge_homophily;
+
+use crate::presets::datasets;
+
+/// Paper-reported statistics for the two datasets.
+const PAPER_ROWS: [(&str, usize, usize, usize, usize); 2] = [
+    ("facebook", 22_470, 170_912, 4_714, 4),
+    ("lastfm", 7_624, 55_612, 128, 18),
+];
+
+/// Builds the dataset table at the given scale.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table (§VIII-A): datasets — generated vs paper",
+        &[
+            "dataset", "vertices", "edges", "features", "classes", "avg deg", "max deg",
+            "homophily", "paper V", "paper E", "paper d", "paper L",
+        ],
+    );
+    for ds in datasets(scale) {
+        let (pv, pe, pd, pl) = PAPER_ROWS
+            .iter()
+            .find(|(name, ..)| *name == ds.name)
+            .map(|&(_, v, e, d, l)| (v, e, d, l))
+            .expect("known dataset");
+        t.push_row([
+            ds.name.clone(),
+            ds.num_nodes().to_string(),
+            ds.graph.num_edges().to_string(),
+            ds.feature_dim.to_string(),
+            ds.num_classes.to_string(),
+            format!("{:.1}", ds.graph.avg_degree()),
+            ds.graph.max_degree().to_string(),
+            format!("{:.2}", edge_homophily(&ds.graph, &ds.labels)),
+            pv.to_string(),
+            pe.to_string(),
+            pd.to_string(),
+            pl.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_both_datasets() {
+        let t = run(Scale::Smoke);
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("facebook"));
+        assert!(md.contains("lastfm"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Batching every device's tree into one message-passing domain.
+//!
+//! Each device trains the *same* GNN weights on its own tree (§VI-B); since
+//! the simulator executes all devices, it concatenates the trees into one
+//! block-diagonal graph and runs message passing once. This is numerically
+//! identical to per-device execution — trees are disconnected components —
+//! while the POOL layer's cross-device averaging (Eq. 31) becomes a single
+//! segment-mean over leaf rows.
+
+use std::rc::Rc;
+
+use lumos_gnn::MessageGraph;
+use lumos_tensor::Tensor;
+
+use crate::init::LdpExchange;
+use crate::tree::{DeviceTree, TreeNode};
+
+/// The batched forest plus everything the trainer needs.
+#[derive(Debug)]
+pub struct BatchedTrees {
+    /// Message-passing structure over all tree nodes.
+    pub mg: MessageGraph,
+    /// Initial node embeddings `[total_nodes, dim]` (Eq. 25: leaves carry
+    /// features, virtual nodes zero).
+    pub features: Tensor,
+    /// Batched node ids of all leaves (POOL gather index).
+    pub pool_leaves: Rc<Vec<u32>>,
+    /// Global vertex of each pooled leaf (POOL scatter index).
+    pub pool_vertices: Rc<Vec<u32>>,
+    /// `1 / leaf-count` per global vertex (mean-pool weights).
+    pub pool_coeff: Rc<Vec<f32>>,
+    /// Per-device tree sizes (straggler cost model input).
+    pub tree_sizes: Vec<usize>,
+    /// Number of global vertices.
+    pub num_vertices: usize,
+}
+
+impl BatchedTrees {
+    /// Total batched nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.mg.num_nodes
+    }
+}
+
+/// Builds the batched forest.
+///
+/// `features` is the raw `[n, dim]` feature matrix; center leaves read it
+/// directly (the paper: the center's feature is the only non-noised one in
+/// its tree), neighbor leaves read the LDP-recovered estimates from
+/// `exchange`.
+pub fn build_batched(
+    trees: &[DeviceTree],
+    features: &[f32],
+    dim: usize,
+    exchange: &LdpExchange,
+) -> BatchedTrees {
+    let n = trees.len();
+    assert_eq!(features.len(), n * dim, "feature matrix shape mismatch");
+    let total_nodes: usize = trees.iter().map(|t| t.num_nodes()).sum();
+
+    let mut init = Tensor::zeros(total_nodes, dim);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut pool_leaves: Vec<u32> = Vec::new();
+    let mut pool_vertices: Vec<u32> = Vec::new();
+    let mut leaf_counts = vec![0u32; n];
+    let mut tree_sizes = Vec::with_capacity(n);
+
+    let midpoint = 0.5f32;
+    let mut offset = 0u32;
+    for tree in trees {
+        tree_sizes.push(tree.num_nodes());
+        for (a, b) in &tree.edges {
+            edges.push((offset + a, offset + b));
+        }
+        for (local, node) in tree.nodes.iter().enumerate() {
+            let bid = offset + local as u32;
+            match node {
+                TreeNode::Root | TreeNode::Parent(_) => {
+                    // Virtual nodes: zero embedding (Eq. 25).
+                }
+                TreeNode::CenterLeaf(_) | TreeNode::EgoCenter => {
+                    let c = tree.center as usize;
+                    init.row_mut(bid as usize)
+                        .copy_from_slice(&features[c * dim..(c + 1) * dim]);
+                    pool_leaves.push(bid);
+                    pool_vertices.push(tree.center);
+                    leaf_counts[tree.center as usize] += 1;
+                }
+                TreeNode::NeighborLeaf(k) | TreeNode::EgoNeighbor(k) => {
+                    let v = tree.neighbors[*k as usize];
+                    let row = init.row_mut(bid as usize);
+                    match exchange.recovered.get(&(tree.center, v)) {
+                        Some(rec) => row.copy_from_slice(rec),
+                        // No message (fan-out zero is impossible here, but
+                        // stay safe): the information-free midpoint.
+                        None => row.iter_mut().for_each(|x| *x = midpoint),
+                    }
+                    pool_leaves.push(bid);
+                    pool_vertices.push(v);
+                    leaf_counts[v as usize] += 1;
+                }
+            }
+        }
+        offset += tree.num_nodes() as u32;
+    }
+
+    let pool_coeff: Vec<f32> = leaf_counts
+        .iter()
+        .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
+        .collect();
+
+    BatchedTrees {
+        mg: MessageGraph::from_undirected(total_nodes, &edges),
+        features: init,
+        pool_leaves: Rc::new(pool_leaves),
+        pool_vertices: Rc::new(pool_vertices),
+        pool_coeff: Rc::new(pool_coeff),
+        tree_sizes,
+        num_vertices: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::exchange_features;
+    use crate::tree::LocalGraphKind;
+    use lumos_common::rng::Xoshiro256pp;
+    use lumos_fed::SimNetwork;
+
+    fn build_example() -> (Vec<DeviceTree>, Vec<f32>, usize, LdpExchange) {
+        // Path 0-1-2, everyone keeps everyone.
+        let trees = vec![
+            DeviceTree::build(LocalGraphKind::VirtualNodeTree, 0, vec![1]),
+            DeviceTree::build(LocalGraphKind::VirtualNodeTree, 1, vec![0, 2]),
+            DeviceTree::build(LocalGraphKind::VirtualNodeTree, 2, vec![1]),
+        ];
+        let dim = 6;
+        let features: Vec<f32> = (0..3 * dim).map(|i| (i % 4) as f32 / 4.0).collect();
+        let mut net = SimNetwork::new(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let ex = exchange_features(&features, dim, &trees, 2.0, &mut rng, &mut net);
+        (trees, features, dim, ex)
+    }
+
+    #[test]
+    fn batched_shapes_and_pool_indexes() {
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        // Trees: wl 1, 2, 1 → 4 + 7 + 4 = 15 nodes.
+        assert_eq!(batch.total_nodes(), 15);
+        assert_eq!(batch.features.dims(), (15, dim));
+        // Leaves: 2·wl per tree = 2 + 4 + 2 = 8.
+        assert_eq!(batch.pool_leaves.len(), 8);
+        assert_eq!(batch.pool_vertices.len(), 8);
+        // Leaf counts: vertex 0 appears as center (1x in tree 0) +
+        // neighbor leaf in tree 1 → plus center copies: tree0 wl=1 → one
+        // center copy. Total for 0: 1 + 1 = 2. Vertex 1: center copies 2 +
+        // neighbor leaves in trees 0, 2 → 4.
+        let count = |v: u32| {
+            batch
+                .pool_vertices
+                .iter()
+                .filter(|&&x| x == v)
+                .count()
+        };
+        assert_eq!(count(0), 2);
+        assert_eq!(count(1), 4);
+        assert_eq!(count(2), 2);
+        assert!((batch.pool_coeff[1] - 0.25).abs() < 1e-7);
+        assert_eq!(batch.tree_sizes, vec![4, 7, 4]);
+    }
+
+    #[test]
+    fn center_leaves_carry_raw_features() {
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        // Tree 0 layout: 0=root, 1=P, 2=center leaf, 3=neighbor leaf.
+        let center_row = batch.features.row(2);
+        assert_eq!(center_row, &features[0..dim], "center feature not noised");
+        // Root/parent rows are zero.
+        assert!(batch.features.row(0).iter().all(|&x| x == 0.0));
+        assert!(batch.features.row(1).iter().all(|&x| x == 0.0));
+        // Neighbor leaf (vertex 1's noisy feature) is a recovery: values in
+        // the decode set, not the raw feature in general.
+        let noisy = batch.features.row(3);
+        assert!(noisy.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn every_vertex_is_pooled() {
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        for v in 0..3u32 {
+            assert!(
+                batch.pool_vertices.contains(&v),
+                "vertex {v} must own at least one leaf"
+            );
+        }
+        assert!(batch.pool_coeff.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn raw_ego_batching_works_too() {
+        let trees = vec![
+            DeviceTree::build(LocalGraphKind::RawEgoNetwork, 0, vec![1]),
+            DeviceTree::build(LocalGraphKind::RawEgoNetwork, 1, vec![0]),
+        ];
+        let dim = 4;
+        let features = vec![0.25f32; 2 * dim];
+        let mut net = SimNetwork::new(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let ex = exchange_features(&features, dim, &trees, 2.0, &mut rng, &mut net);
+        let batch = build_batched(&trees, &features, dim, &ex);
+        assert_eq!(batch.total_nodes(), 4);
+        assert_eq!(batch.pool_leaves.len(), 4);
+    }
+}

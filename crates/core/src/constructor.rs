@@ -1,0 +1,120 @@
+//! The heterogeneity-aware tree constructor (§V): greedy initialization
+//! followed by MCMC trimming, or the untrimmed full assignment for the
+//! "w.o. TT" ablation.
+
+use lumos_balance::{
+    greedy_init, make_oracle, mcmc_balance, Assignment, McmcConfig, SecurityMode,
+};
+use lumos_common::timer::Stopwatch;
+use lumos_graph::Graph;
+
+use crate::report::ConstructorReport;
+
+/// Runs the tree constructor over the (training) graph.
+///
+/// With `trimming` enabled this is Algorithm 1 + Algorithm 2 (both under
+/// secure comparisons); otherwise every device keeps its full ego network.
+pub fn construct_assignment(
+    g: &Graph,
+    trimming: bool,
+    mcmc_iterations: usize,
+    security: SecurityMode,
+    seed: u64,
+) -> (Assignment, ConstructorReport) {
+    let mut sw = Stopwatch::started();
+    let untrimmed_max = g.max_degree();
+    if !trimming {
+        let assignment = Assignment::full(g);
+        sw.stop();
+        let report = ConstructorReport {
+            trimmed: false,
+            workloads: assignment.workloads(),
+            max_workload: assignment.objective(),
+            untrimmed_max,
+            wall_secs: sw.secs(),
+            ..Default::default()
+        };
+        return (assignment, report);
+    }
+
+    let mut oracle = make_oracle(security, seed);
+    let init = greedy_init(g, oracle.as_mut());
+    let mcmc_cfg = McmcConfig {
+        iterations: mcmc_iterations,
+        seed: seed ^ 0x5EED,
+    };
+    let outcome = mcmc_balance(g, init, &mcmc_cfg, oracle.as_mut());
+    sw.stop();
+
+    debug_assert!(outcome.assignment.check_feasible(g).is_ok());
+    let report = ConstructorReport {
+        trimmed: true,
+        workloads: outcome.assignment.workloads(),
+        max_workload: outcome.assignment.objective(),
+        untrimmed_max,
+        secure_comm: oracle.meter(),
+        comparisons: oracle.comparisons(),
+        server_messages: outcome.stats.server.messages,
+        wall_secs: sw.secs(),
+        mcmc_trace: outcome.trace,
+    };
+    (outcome.assignment, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_common::rng::Xoshiro256pp;
+    use lumos_graph::generate::{homophilous_powerlaw, PowerLawConfig};
+
+    fn graph() -> Graph {
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let labels: Vec<u32> = (0..500).map(|_| rng.next_below(4) as u32).collect();
+        homophilous_powerlaw(&labels, &PowerLawConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn trimming_cuts_the_maximum_workload() {
+        let g = graph();
+        let (trimmed, rep) =
+            construct_assignment(&g, true, 150, SecurityMode::CostModel, 3);
+        let (full, rep_full) =
+            construct_assignment(&g, false, 150, SecurityMode::CostModel, 3);
+        trimmed.check_feasible(&g).unwrap();
+        full.check_feasible(&g).unwrap();
+        assert_eq!(rep_full.max_workload, g.max_degree());
+        assert!(
+            rep.max_workload * 2 <= rep_full.max_workload,
+            "trimmed {} vs full {}",
+            rep.max_workload,
+            rep_full.max_workload
+        );
+        assert!(rep.trimmed);
+        assert!(!rep_full.trimmed);
+        assert!(rep.comparisons > 0);
+        assert!(rep.secure_comm.messages > 0);
+        assert_eq!(rep_full.comparisons, 0, "no crypto without trimming");
+        assert_eq!(rep.mcmc_trace.len(), 150);
+    }
+
+    #[test]
+    fn trimming_reduces_total_workload_towards_edge_count() {
+        let g = graph();
+        let (trimmed, _) = construct_assignment(&g, true, 50, SecurityMode::CostModel, 7);
+        let total = trimmed.total_workload();
+        assert!(total >= g.num_edges(), "coverage requires ≥ |E|");
+        assert!(
+            total < 2 * g.num_edges(),
+            "trimming must drop duplicated branches: {total} vs {}",
+            2 * g.num_edges()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = graph();
+        let (a1, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11);
+        let (a2, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Run reports: everything the experiment harness needs to regenerate the
+//! paper's figures from one training run.
+
+use lumos_crypto::CommMeter;
+
+/// Metrics recorded at an evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochMetrics {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Training loss at this epoch.
+    pub loss: f64,
+    /// Validation metric (accuracy or AUC, per task).
+    pub val_metric: f64,
+}
+
+/// Statistics of the tree-construction phase.
+#[derive(Debug, Clone, Default)]
+pub struct ConstructorReport {
+    /// Whether trimming ran (false for "w.o. TT").
+    pub trimmed: bool,
+    /// Workload per device after construction (Fig. 7's trimmed series).
+    pub workloads: Vec<usize>,
+    /// Objective `max_u wl(u)` after construction.
+    pub max_workload: usize,
+    /// Objective before trimming (= max degree).
+    pub untrimmed_max: usize,
+    /// Secure-comparison communication (greedy + MCMC + Alg. 3).
+    pub secure_comm: CommMeter,
+    /// Number of secure comparisons executed.
+    pub comparisons: u64,
+    /// Device↔server messages during Alg. 3 coordination.
+    pub server_messages: u64,
+    /// Wall seconds spent constructing.
+    pub wall_secs: f64,
+    /// MCMC objective trace (empty when trimming is off).
+    pub mcmc_trace: Vec<usize>,
+}
+
+/// Full report of a Lumos (or baseline) run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// System name ("lumos", "centralized", "lpgnn", "naive-fedgnn", …).
+    pub system: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Backbone name ("GCN"/"GAT").
+    pub backbone: String,
+    /// Task name ("supervised"/"unsupervised").
+    pub task: String,
+    /// Test metric at the end of training (accuracy ∈ [0,1] or AUC).
+    pub test_metric: f64,
+    /// Best validation metric seen.
+    pub best_val_metric: f64,
+    /// Per-evaluation-point history.
+    pub history: Vec<EpochMetrics>,
+    /// Average inter-device messages per device per epoch (Fig. 8a).
+    pub avg_messages_per_device_per_epoch: f64,
+    /// Average wall seconds per training epoch (Fig. 8b).
+    pub avg_epoch_secs: f64,
+    /// Average modeled makespan per epoch (straggler units).
+    pub avg_epoch_makespan: f64,
+    /// Tree-constructor statistics (empty/default for baselines).
+    pub constructor: ConstructorReport,
+    /// One-off feature-exchange messages (LDP initialization phase).
+    pub init_messages: u64,
+}
+
+impl RunReport {
+    /// Creates an empty report shell for a system/dataset/backbone/task.
+    pub fn new(system: &str, dataset: &str, backbone: &str, task: &str) -> Self {
+        Self {
+            system: system.into(),
+            dataset: dataset.into(),
+            backbone: backbone.into(),
+            task: task.into(),
+            test_metric: 0.0,
+            best_val_metric: 0.0,
+            history: Vec::new(),
+            avg_messages_per_device_per_epoch: 0.0,
+            avg_epoch_secs: 0.0,
+            avg_epoch_makespan: 0.0,
+            constructor: ConstructorReport::default(),
+            init_messages: 0,
+        }
+    }
+
+    /// Final training loss (NaN if no history).
+    pub fn final_loss(&self) -> f64 {
+        self.history.last().map_or(f64::NAN, |m| m.loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shell_and_history() {
+        let mut r = RunReport::new("lumos", "facebook", "GCN", "supervised");
+        assert!(r.final_loss().is_nan());
+        r.history.push(EpochMetrics {
+            epoch: 0,
+            loss: 1.5,
+            val_metric: 0.4,
+        });
+        r.history.push(EpochMetrics {
+            epoch: 10,
+            loss: 0.7,
+            val_metric: 0.6,
+        });
+        assert_eq!(r.final_loss(), 0.7);
+        assert_eq!(r.system, "lumos");
+    }
+}

@@ -1,0 +1,408 @@
+//! The tree-based GNN trainer (§VI) and the end-to-end Lumos pipeline.
+//!
+//! Pipeline per run: split the graph into ego networks → construct trimmed
+//! trees (§V) → LDP feature exchange (§VI-A) → per-epoch message passing on
+//! every tree with shared weights, POOL across devices (Eq. 31), loss
+//! computation (§VI-C), synchronized gradient update — with every
+//! inter-device message recorded on the federated runtime's ledger.
+
+use std::rc::Rc;
+
+use lumos_common::rng::Xoshiro256pp;
+use lumos_data::{Dataset, EdgeSplit, NodeSplit};
+use lumos_fed::{CostModel, Runtime};
+use lumos_gnn::{
+    accuracy_masked, cross_entropy_masked, link_logits, link_prediction_loss, roc_auc,
+    EncoderConfig, GnnEncoder, LinearDecoder,
+};
+use lumos_graph::Graph;
+use lumos_tensor::{Adam, ParamStore, Tape, VarId};
+
+use crate::batch::{build_batched, BatchedTrees};
+use crate::config::{LumosConfig, TaskKind};
+use crate::constructor::construct_assignment;
+use crate::init::exchange_features;
+use crate::report::{EpochMetrics, RunReport};
+use crate::tree::{DeviceTree, LocalGraphKind};
+
+/// Paired endpoint lists of positive training edges.
+type PairLists = (Rc<Vec<u32>>, Rc<Vec<u32>>);
+
+/// Embedding size of a pooled vertex message on the wire (16 f32 values).
+const EMBEDDING_BYTES: u64 = 16 * 4;
+
+/// Runs the full Lumos system on a dataset and returns the report.
+pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+    let n = ds.num_nodes();
+
+    // Task-specific splits. Link prediction trains on the 80% train-edge
+    // graph; classification trains on the full graph with node masks.
+    let node_split;
+    let edge_split;
+    let train_graph: Graph = match cfg.task {
+        TaskKind::Supervised => {
+            node_split = Some(NodeSplit::uniform(n, &mut rng));
+            edge_split = None;
+            ds.graph.clone()
+        }
+        TaskKind::Unsupervised => {
+            let split = EdgeSplit::uniform(&ds.graph, &mut rng);
+            let g = split.train_graph(n);
+            edge_split = Some(split);
+            node_split = None;
+            g
+        }
+    };
+
+    // Phase 1: heterogeneity-aware tree constructor (§V).
+    let (assignment, constructor) = construct_assignment(
+        &train_graph,
+        cfg.tree_trimming,
+        cfg.mcmc_iterations,
+        cfg.security,
+        cfg.seed,
+    );
+
+    let kind = if cfg.virtual_nodes {
+        LocalGraphKind::VirtualNodeTree
+    } else {
+        LocalGraphKind::RawEgoNetwork
+    };
+    let trees: Vec<DeviceTree> = (0..n as u32)
+        .map(|v| DeviceTree::build(kind, v, assignment.kept(v).to_vec()))
+        .collect();
+
+    // Phase 2: LDP embedding initialization (§VI-A).
+    let mut runtime = Runtime::new(n, CostModel::default());
+    let exchange = exchange_features(
+        &ds.features,
+        ds.feature_dim,
+        &trees,
+        cfg.epsilon,
+        &mut rng,
+        &mut runtime.network,
+    );
+    let init_messages = exchange.messages;
+    let batch = build_batched(&trees, &ds.features, ds.feature_dim, &exchange);
+
+    // Phase 3: model setup (§VIII-B hyperparameters).
+    let mut store = ParamStore::new();
+    let enc_cfg = EncoderConfig::paper(cfg.backbone, ds.feature_dim);
+    let encoder = GnnEncoder::new(&mut store, &enc_cfg, &mut rng);
+    let decoder = match cfg.task {
+        TaskKind::Supervised => Some(LinearDecoder::new(
+            &mut store,
+            "head",
+            encoder.out_dim(),
+            ds.num_classes,
+            &mut rng,
+        )),
+        TaskKind::Unsupervised => None,
+    };
+    let mut opt = Adam::new(cfg.lr);
+
+    let mut report = RunReport::new(
+        "lumos",
+        &ds.name,
+        cfg.backbone.name(),
+        cfg.task.name(),
+    );
+    report.constructor = constructor;
+    report.init_messages = init_messages;
+
+    // Supervised target/mask buffers.
+    let targets = Rc::new(ds.labels.clone());
+    let train_mask: Option<Rc<Vec<f32>>> = node_split.as_ref().map(|s| {
+        Rc::new(
+            s.train_mask
+                .iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect::<Vec<f32>>(),
+        )
+    });
+    // Unsupervised positive pairs (training edges).
+    let pos_pairs: Option<PairLists> = edge_split.as_ref().map(|s| {
+        let src: Vec<u32> = s.train_edges.iter().map(|&(u, _)| u).collect();
+        let dst: Vec<u32> = s.train_edges.iter().map(|&(_, v)| v).collect();
+        (Rc::new(src), Rc::new(dst))
+    });
+
+    // Phase 4: synchronized training epochs.
+    let mut best_val = 0.0f64;
+    for epoch in 0..cfg.epochs {
+        runtime.begin_epoch();
+        let mut tape = Tape::new();
+        let h = forward_pooled(
+            &mut tape, &store, &encoder, &batch, true, &mut rng,
+        );
+
+        let loss_var: VarId = match cfg.task {
+            TaskKind::Supervised => {
+                let dec = decoder.as_ref().expect("supervised head");
+                let logits = dec.forward(&mut tape, &store, h);
+                cross_entropy_masked(
+                    &mut tape,
+                    logits,
+                    targets.clone(),
+                    train_mask.clone().expect("supervised mask"),
+                )
+            }
+            TaskKind::Unsupervised => {
+                let (src, dst) = pos_pairs.clone().expect("unsupervised pairs");
+                let negs = lumos_data::sample_non_edges(
+                    &ds.graph,
+                    src.len() * cfg.negatives_per_positive,
+                    &mut rng,
+                );
+                let neg_src: Rc<Vec<u32>> = Rc::new(negs.iter().map(|&(u, _)| u).collect());
+                let neg_dst: Rc<Vec<u32>> = Rc::new(negs.iter().map(|&(_, v)| v).collect());
+                let pos_logits = link_logits(&mut tape, h, src, dst);
+                let neg_logits = link_logits(&mut tape, h, neg_src, neg_dst);
+                link_prediction_loss(&mut tape, pos_logits, neg_logits)
+            }
+        };
+        let loss = tape.value(loss_var).item() as f64;
+
+        store.zero_grad();
+        let grads = tape.backward(loss_var);
+        tape.accumulate_param_grads(&grads, &mut store);
+        opt.step(&mut store);
+
+        // Protocol message accounting for this epoch (§VI-B/C).
+        record_epoch_messages(&trees, cfg, &mut runtime, edge_split.as_ref());
+        runtime.end_epoch(&batch.tree_sizes, encoder.num_layers());
+
+        // Periodic validation.
+        if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
+            let val = evaluate(
+                &store, &encoder, decoder.as_ref(), &batch, ds, cfg,
+                node_split.as_ref(), edge_split.as_ref(), false, &mut rng,
+            );
+            best_val = best_val.max(val);
+            report.history.push(EpochMetrics {
+                epoch,
+                loss,
+                val_metric: val,
+            });
+        }
+    }
+
+    // Phase 5: test metric.
+    report.test_metric = evaluate(
+        &store, &encoder, decoder.as_ref(), &batch, ds, cfg,
+        node_split.as_ref(), edge_split.as_ref(), true, &mut rng,
+    );
+    report.best_val_metric = best_val;
+    report.avg_messages_per_device_per_epoch = runtime.avg_messages_per_device_per_epoch();
+    report.avg_epoch_secs = runtime.avg_epoch_wall_secs();
+    report.avg_epoch_makespan = runtime.avg_epoch_makespan();
+    report
+}
+
+/// Forward pass over the batched forest followed by the POOL layer
+/// (Eq. 31): mean of all leaf embeddings per global vertex.
+fn forward_pooled(
+    tape: &mut Tape,
+    store: &ParamStore,
+    encoder: &GnnEncoder,
+    batch: &BatchedTrees,
+    training: bool,
+    rng: &mut Xoshiro256pp,
+) -> VarId {
+    let x = tape.constant(batch.features.clone());
+    let h_tree = encoder.forward(tape, store, x, &batch.mg, training, rng);
+    let leaves = tape.gather_rows(h_tree, batch.pool_leaves.clone());
+    let summed = tape.scatter_add_rows(leaves, batch.pool_vertices.clone(), batch.num_vertices);
+    tape.scale_rows(summed, batch.pool_coeff.clone())
+}
+
+/// Evaluation on the validation or test split (no dropout).
+#[allow(clippy::too_many_arguments)]
+fn evaluate(
+    store: &ParamStore,
+    encoder: &GnnEncoder,
+    decoder: Option<&LinearDecoder>,
+    batch: &BatchedTrees,
+    ds: &Dataset,
+    cfg: &LumosConfig,
+    node_split: Option<&NodeSplit>,
+    edge_split: Option<&EdgeSplit>,
+    test: bool,
+    rng: &mut Xoshiro256pp,
+) -> f64 {
+    let mut tape = Tape::new();
+    let h = forward_pooled(&mut tape, store, encoder, batch, false, rng);
+    match cfg.task {
+        TaskKind::Supervised => {
+            let split = node_split.expect("supervised split");
+            let mask = if test { &split.test_mask } else { &split.val_mask };
+            let dec = decoder.expect("supervised head");
+            let logits = dec.forward(&mut tape, store, h);
+            accuracy_masked(tape.value(logits), &ds.labels, mask)
+        }
+        TaskKind::Unsupervised => {
+            let split = edge_split.expect("unsupervised split");
+            let (pos, neg) = if test {
+                (&split.test_edges, &split.test_negatives)
+            } else {
+                (&split.val_edges, &split.val_negatives)
+            };
+            let score = |pairs: &[(u32, u32)], tape: &mut Tape| -> Vec<f32> {
+                let src: Rc<Vec<u32>> = Rc::new(pairs.iter().map(|&(u, _)| u).collect());
+                let dst: Rc<Vec<u32>> = Rc::new(pairs.iter().map(|&(_, v)| v).collect());
+                let z = link_logits(tape, h, src, dst);
+                tape.value(z).data().to_vec()
+            };
+            let pos_scores = score(pos, &mut tape);
+            let neg_scores = score(neg, &mut tape);
+            roc_auc(&pos_scores, &neg_scores)
+        }
+    }
+}
+
+/// Records the inter-device messages one training epoch incurs (§VI-B/C):
+///
+/// * each device sends the updated embedding of every neighbor leaf back to
+///   that leaf's owner (one message per retained branch);
+/// * each owner's pooled embedding requires no further messages (the leaves
+///   arrived above);
+/// * unsupervised training additionally fetches the embeddings of retained
+///   neighbors and of sampled negatives (Eq. 33);
+/// * finally every device ships its loss/gradient contribution to the
+///   aggregation point.
+fn record_epoch_messages(
+    trees: &[DeviceTree],
+    cfg: &LumosConfig,
+    runtime: &mut Runtime,
+    edge_split: Option<&EdgeSplit>,
+) {
+    for tree in trees {
+        let u = tree.center;
+        for &v in &tree.neighbors {
+            // Leaf embedding u → owner v after the l-layer update.
+            runtime.network.send(u, v, EMBEDDING_BYTES);
+        }
+    }
+    runtime.network.round();
+    if cfg.task == TaskKind::Unsupervised {
+        // Positive fetches: each training edge's embedding crosses once;
+        // negatives are requested per sampled pair.
+        if let Some(split) = edge_split {
+            for &(u, v) in &split.train_edges {
+                runtime.network.send(v, u, EMBEDDING_BYTES);
+                let _ = v;
+            }
+            let neg_count = split.train_edges.len() * cfg.negatives_per_positive;
+            for i in 0..neg_count {
+                // Negative-sample embedding transfers (uniformly attributed).
+                let from = (i % trees.len()) as u32;
+                let to = ((i / 2) % trees.len()) as u32;
+                runtime.network.send(from, to, EMBEDDING_BYTES);
+            }
+        }
+        runtime.network.round();
+    }
+    // Loss/gradient aggregation: one message per device.
+    for v in 0..trees.len() as u32 {
+        runtime.network.send_to_server(v, EMBEDDING_BYTES);
+    }
+    runtime.network.round();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_data::Scale;
+    use lumos_gnn::Backbone;
+
+    fn smoke_config(task: TaskKind) -> LumosConfig {
+        LumosConfig::new(Backbone::Gcn, task)
+            .with_epochs(30)
+            .with_mcmc_iterations(30)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn supervised_run_beats_random_guessing() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised);
+        let report = run_lumos(&ds, &cfg);
+        // 4 balanced classes → random ≈ 0.25. Lumos must clearly beat it.
+        assert!(
+            report.test_metric > 0.4,
+            "accuracy {} too low",
+            report.test_metric
+        );
+        assert!(!report.history.is_empty());
+        assert!(report.avg_messages_per_device_per_epoch > 0.0);
+        assert!(report.init_messages > 0);
+        assert!(report.constructor.trimmed);
+    }
+
+    #[test]
+    fn unsupervised_run_beats_random_auc() {
+        let ds = Dataset::lastfm_like(Scale::Smoke);
+        // Link prediction under ε = 2 needs the paper's longer training to
+        // rise above the LDP noise floor (§VIII-B uses 300 epochs).
+        let mut cfg = smoke_config(TaskKind::Unsupervised).with_epochs(500);
+        cfg.eval_every = 50;
+        let report = run_lumos(&ds, &cfg);
+        assert!(
+            report.test_metric > 0.57,
+            "AUC {} too low",
+            report.test_metric
+        );
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised).with_epochs(40);
+        let report = run_lumos(&ds, &cfg);
+        let first = report.history.first().unwrap().loss;
+        let last = report.history.last().unwrap().loss;
+        assert!(last < first, "loss {first} → {last} must decrease");
+    }
+
+    #[test]
+    fn trimming_reduces_messages_and_max_workload() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let trimmed = run_lumos(&ds, &smoke_config(TaskKind::Supervised).with_epochs(3));
+        let untrimmed = run_lumos(
+            &ds,
+            &smoke_config(TaskKind::Supervised)
+                .with_epochs(3)
+                .without_tree_trimming(),
+        );
+        assert!(
+            trimmed.avg_messages_per_device_per_epoch
+                < untrimmed.avg_messages_per_device_per_epoch,
+            "trimming must cut communication: {} vs {}",
+            trimmed.avg_messages_per_device_per_epoch,
+            untrimmed.avg_messages_per_device_per_epoch
+        );
+        assert!(trimmed.constructor.max_workload < untrimmed.constructor.max_workload);
+        assert!(trimmed.avg_epoch_makespan < untrimmed.avg_epoch_makespan);
+    }
+
+    #[test]
+    fn ablation_without_virtual_nodes_runs() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised)
+            .with_epochs(5)
+            .without_virtual_nodes();
+        let report = run_lumos(&ds, &cfg);
+        assert!(report.test_metric > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_seed() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised).with_epochs(5);
+        let a = run_lumos(&ds, &cfg);
+        let b = run_lumos(&ds, &cfg);
+        assert_eq!(a.test_metric, b.test_metric);
+        assert_eq!(a.final_loss(), b.final_loss());
+    }
+}

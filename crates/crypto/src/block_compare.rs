@@ -1,0 +1,207 @@
+//! Radix-block secure comparison — CrypTFlow2's actual leaf construction.
+//!
+//! [`crate::compare::secure_compare`] evaluates one AND gate per *bit*.
+//! CrypTFlow2 instead splits the inputs into q-bit blocks and resolves each
+//! block's greater-than/equality pair with a single 1-out-of-2^q oblivious
+//! transfer, then merges blocks with the same `gt/eq` tree. This module
+//! implements that variant so the block radix can be ablated (DESIGN.md §5):
+//! larger q trades OT payload (2^q entries) against tree depth and AND
+//! count.
+
+use crate::circuit::{SharedBit, TwoParty};
+use crate::compare::CompareOutcome;
+use crate::meter::CommMeter;
+use crate::ot::OtDealer;
+
+/// 1-out-of-N oblivious transfer from a dealt random 1-of-N OT.
+///
+/// The sender holds `messages`; the receiver learns `messages[choice]` and
+/// nothing else; the sender learns nothing about `choice`.
+pub fn ot_transfer_1_of_n(
+    messages: &[u64],
+    choice: usize,
+    dealer: &mut OtDealer,
+    meter: &mut CommMeter,
+) -> u64 {
+    let n = messages.len();
+    assert!(n >= 2, "1-of-N OT needs at least two messages");
+    assert!(choice < n, "choice out of range");
+    // Offline: dealer hands the sender N pads and the receiver (c, pad_c).
+    let (pads, c, pad_c) = dealer.deal_1_of_n(n);
+
+    // Receiver → sender: rotation offset (log2 N bits, ≤ 1 byte here).
+    let d = (choice + n - c) % n;
+    meter.message(1);
+    // Sender → receiver: ciphertexts aligned so slot `choice` uses pad_c.
+    let ciphertexts: Vec<u64> = (0..n)
+        .map(|j| messages[j] ^ pads[(j + n - d) % n])
+        .collect();
+    meter.message(8 * n as u64);
+    ciphertexts[choice] ^ pad_c
+}
+
+/// Secure comparison over radix-2^q blocks.
+///
+/// Functionally identical to [`crate::compare::secure_compare`]; the leaf
+/// layer uses one 1-of-2^q OT per block instead of per-bit AND gates.
+///
+/// # Panics
+/// Panics unless `1 <= radix_bits <= 8` and `bits` is in `1..=64`.
+pub fn secure_compare_blocks(
+    ctx: &mut TwoParty,
+    a_value: u64,
+    b_value: u64,
+    bits: u32,
+    radix_bits: u32,
+) -> CompareOutcome {
+    assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+    assert!(
+        (1..=8).contains(&radix_bits),
+        "radix must be between 1 and 8 bits"
+    );
+    if bits < 64 {
+        assert!(a_value < (1u64 << bits), "a_value does not fit");
+        assert!(b_value < (1u64 << bits), "b_value does not fit");
+    }
+    let num_blocks = bits.div_ceil(radix_bits);
+    let table = 1usize << radix_bits;
+
+    // Leaf layer, MSB-first: one 1-of-2^q OT per block. Party B (sender)
+    // tabulates masked (gt, eq) bits for every candidate value of A's block;
+    // party A (receiver) selects with its block value.
+    let mut level: Vec<(SharedBit, SharedBit)> = Vec::with_capacity(num_blocks as usize);
+    for blk in (0..num_blocks).rev() {
+        let shift = blk * radix_bits;
+        let mask = if radix_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << radix_bits) - 1
+        };
+        let a_blk = (a_value >> shift) & mask;
+        let b_blk = (b_value >> shift) & mask;
+        // B's masks (its output shares).
+        let r_gt = ctx.b_coin();
+        let r_eq = ctx.b_coin();
+        // Message j encodes (gt, eq) for "A's block == j", XOR-masked.
+        let messages: Vec<u64> = (0..table as u64)
+            .map(|j| {
+                let gt = (j > b_blk) ^ r_gt;
+                let eq = (j == b_blk) ^ r_eq;
+                (gt as u64) | ((eq as u64) << 1)
+            })
+            .collect();
+        let received = ctx.with_ot(|dealer, meter| {
+            ot_transfer_1_of_n(&messages, a_blk as usize, dealer, meter)
+        });
+        let a_gt = received & 1 == 1;
+        let a_eq = (received >> 1) & 1 == 1;
+        level.push((
+            SharedBit::from_shares(a_gt, r_gt),
+            SharedBit::from_shares(a_eq, r_eq),
+        ));
+    }
+    ctx.end_layer();
+
+    // Identical merge tree to the bitwise protocol.
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for chunk in level.chunks(2) {
+            if chunk.len() == 2 {
+                let (gt_hi, eq_hi) = chunk[0];
+                let (gt_lo, eq_lo) = chunk[1];
+                let carry = ctx.and(eq_hi, gt_lo);
+                let gt = ctx.xor(gt_hi, carry);
+                let eq = ctx.and(eq_hi, eq_lo);
+                next.push((gt, eq));
+            } else {
+                next.push(chunk[0]);
+            }
+        }
+        ctx.end_layer();
+        level = next;
+    }
+    let (gt, eq) = level[0];
+    CompareOutcome {
+        a_greater: ctx.reveal(gt),
+        equal: ctx.reveal(eq),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::secure_compare;
+    use lumos_common::rng::Xoshiro256pp;
+
+    #[test]
+    fn one_of_n_ot_delivers_choice() {
+        let mut dealer = OtDealer::new(3);
+        let mut meter = CommMeter::new();
+        let msgs: Vec<u64> = (0..16).map(|i| i * 1000 + 7).collect();
+        for choice in 0..16 {
+            let out = ot_transfer_1_of_n(&msgs, choice, &mut dealer, &mut meter);
+            assert_eq!(out, msgs[choice]);
+        }
+        assert_eq!(meter.messages, 32);
+    }
+
+    #[test]
+    fn block_compare_matches_plain_for_all_radixes() {
+        for radix in [1u32, 2, 4, 8] {
+            for (a, b) in [(0u64, 0u64), (5, 9), (9, 5), (255, 255), (200, 199), (1, 256)] {
+                let mut ctx = TwoParty::new(a * 131 + b + radix as u64);
+                let out = secure_compare_blocks(&mut ctx, a, b, 12, radix);
+                assert_eq!(out.ordering(), a.cmp(&b), "radix={radix} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_compare_random_agreement_with_bitwise() {
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        for _ in 0..100 {
+            let a = rng.next_below(1 << 16);
+            let b = rng.next_below(1 << 16);
+            let mut ctx1 = TwoParty::new(rng.next_u64());
+            let mut ctx2 = TwoParty::new(rng.next_u64());
+            let bitwise = secure_compare(&mut ctx1, a, b, 16);
+            let block = secure_compare_blocks(&mut ctx2, a, b, 16, 4);
+            assert_eq!(bitwise.ordering(), block.ordering());
+        }
+    }
+
+    #[test]
+    fn larger_radix_trades_rounds_for_bytes() {
+        // q=4 on 32 bits: 8 leaf OTs, ceil(log2 8)=3 merge layers.
+        // q=1 on 32 bits: 32 leaf ANDs, 5 merge layers.
+        let run = |radix: u32| {
+            let mut ctx = TwoParty::new(5);
+            let _ = secure_compare_blocks(&mut ctx, 123_456, 654_321, 32, radix);
+            (ctx.meter.rounds, ctx.meter.bytes, ctx.and_gates)
+        };
+        let (rounds_q1, _bytes_q1, ands_q1) = run(1);
+        let (rounds_q4, bytes_q4, ands_q4) = run(4);
+        assert!(rounds_q4 < rounds_q1, "{rounds_q4} vs {rounds_q1}");
+        assert!(ands_q4 < ands_q1, "merge-only ANDs: {ands_q4} vs {ands_q1}");
+        // The payload price of the 2^q tables.
+        assert!(bytes_q4 > 8 * 16, "tables must dominate: {bytes_q4}");
+    }
+
+    #[test]
+    fn transcript_shape_is_input_independent() {
+        let run = |a: u64, b: u64| {
+            let mut ctx = TwoParty::new(42);
+            let _ = secure_compare_blocks(&mut ctx, a, b, 16, 4);
+            ctx.meter
+        };
+        assert_eq!(run(0, 0), run(65_535, 0));
+        assert_eq!(run(0, 0), run(31_337, 4_242));
+    }
+
+    #[test]
+    #[should_panic]
+    fn radix_zero_rejected() {
+        let mut ctx = TwoParty::new(1);
+        let _ = secure_compare_blocks(&mut ctx, 1, 2, 8, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Communication accounting for two-party protocols.
+//!
+//! The paper quantifies its tree constructor by the secure-comparison
+//! traffic it induces (§V-C time complexity, Figure 8a communication
+//! rounds). Every protocol in this crate records its messages, bytes and
+//! synchronization rounds on a [`CommMeter`].
+
+/// Tallies of protocol communication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommMeter {
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Total payload bytes across all messages.
+    pub bytes: u64,
+    /// Synchronization rounds (message exchanges that must complete before
+    /// the next step; parallel messages in one step count as one round).
+    pub rounds: u64,
+}
+
+impl CommMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `bytes` payload bytes.
+    pub fn message(&mut self, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+
+    /// Records a synchronization round.
+    pub fn round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Adds another meter's tallies into this one.
+    pub fn merge(&mut self, other: &CommMeter) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.rounds += other.rounds;
+    }
+
+    /// Difference against an earlier snapshot (for per-phase accounting).
+    pub fn since(&self, snapshot: &CommMeter) -> CommMeter {
+        CommMeter {
+            messages: self.messages - snapshot.messages,
+            bytes: self.bytes - snapshot.bytes,
+            rounds: self.rounds - snapshot.rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_and_round_accounting() {
+        let mut m = CommMeter::new();
+        m.message(16);
+        m.message(4);
+        m.round();
+        assert_eq!(m.messages, 2);
+        assert_eq!(m.bytes, 20);
+        assert_eq!(m.rounds, 1);
+    }
+
+    #[test]
+    fn merge_and_since() {
+        let mut a = CommMeter::new();
+        a.message(10);
+        let snapshot = a;
+        a.message(5);
+        a.round();
+        let delta = a.since(&snapshot);
+        assert_eq!(delta.messages, 1);
+        assert_eq!(delta.bytes, 5);
+        assert_eq!(delta.rounds, 1);
+        let mut b = CommMeter::new();
+        b.merge(&a);
+        assert_eq!(b, a);
+    }
+}

@@ -1,0 +1,11 @@
+//! `lumos-data` — synthetic datasets for the Lumos evaluation.
+//!
+//! Generates Facebook-like and LastFM-like graphs (the paper's §VIII-A
+//! datasets, substituted per DESIGN.md §4) and the node/edge splits of
+//! §VIII-B.
+
+pub mod dataset;
+pub mod splits;
+
+pub use dataset::{Dataset, DatasetConfig, Scale};
+pub use splits::{sample_non_edges, EdgeSplit, NodeSplit};

@@ -1,0 +1,16 @@
+//! `lumos-fed` — the federated runtime simulation.
+//!
+//! Devices are simulated in-process, but every message they would exchange
+//! is recorded on a per-device ledger ([`network::SimNetwork`]), epochs run
+//! synchronously through [`runtime::Runtime`], and the epoch wall time is
+//! paired with a straggler-dominated makespan model ([`clock::CostModel`]) —
+//! the quantities behind Figure 8's communication-round and training-time
+//! comparisons.
+
+pub mod clock;
+pub mod network;
+pub mod runtime;
+
+pub use clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
+pub use network::{DeviceTraffic, NetworkSnapshot, SimNetwork};
+pub use runtime::{EpochRecord, Runtime};

@@ -1,0 +1,174 @@
+//! Simulated inter-device network with per-device accounting.
+//!
+//! Figure 8a reports the *average number of inter-device communication
+//! rounds per device per epoch*; this ledger records every message the
+//! protocols exchange so the harness can reproduce that series exactly.
+
+/// Per-device communication tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceTraffic {
+    /// Messages sent by this device.
+    pub sent: u64,
+    /// Messages received by this device.
+    pub received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// The simulated network connecting `n` devices and a server.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    devices: Vec<DeviceTraffic>,
+    server_received: u64,
+    server_sent: u64,
+    rounds: u64,
+}
+
+impl SimNetwork {
+    /// Creates a network for `n` devices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            devices: vec![DeviceTraffic::default(); n],
+            server_received: 0,
+            server_sent: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Records a device-to-device message.
+    pub fn send(&mut self, from: u32, to: u32, bytes: u64) {
+        let d = &mut self.devices[from as usize];
+        d.sent += 1;
+        d.bytes_sent += bytes;
+        self.devices[to as usize].received += 1;
+    }
+
+    /// Records a device-to-server message.
+    pub fn send_to_server(&mut self, from: u32, bytes: u64) {
+        let d = &mut self.devices[from as usize];
+        d.sent += 1;
+        d.bytes_sent += bytes;
+        self.server_received += 1;
+    }
+
+    /// Records a server-to-device message.
+    pub fn send_from_server(&mut self, to: u32, _bytes: u64) {
+        self.server_sent += 1;
+        self.devices[to as usize].received += 1;
+    }
+
+    /// Marks a synchronization round (all devices advance together — the
+    /// paper's synchronous federation, §IV-B).
+    pub fn round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Traffic of one device.
+    pub fn device(&self, v: u32) -> DeviceTraffic {
+        self.devices[v as usize]
+    }
+
+    /// Total device-to-device plus device-to-server messages.
+    pub fn total_messages(&self) -> u64 {
+        self.devices.iter().map(|d| d.sent).sum::<u64>() + self.server_sent
+    }
+
+    /// Total payload bytes sent by devices.
+    pub fn total_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.bytes_sent).sum()
+    }
+
+    /// Synchronization rounds so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Messages received by the server.
+    pub fn server_received(&self) -> u64 {
+        self.server_received
+    }
+
+    /// Average messages sent per device (Fig. 8a's y-axis when divided by
+    /// epochs).
+    pub fn avg_sent_per_device(&self) -> f64 {
+        if self.devices.is_empty() {
+            0.0
+        } else {
+            self.devices.iter().map(|d| d.sent).sum::<u64>() as f64 / self.devices.len() as f64
+        }
+    }
+
+    /// Snapshot for differential accounting.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        NetworkSnapshot {
+            total_messages: self.total_messages(),
+            total_bytes: self.total_bytes(),
+            rounds: self.rounds,
+            per_device_sent: self.devices.iter().map(|d| d.sent).collect(),
+        }
+    }
+
+    /// Per-device messages sent since a snapshot.
+    pub fn sent_since(&self, snap: &NetworkSnapshot) -> Vec<u64> {
+        self.devices
+            .iter()
+            .zip(&snap.per_device_sent)
+            .map(|(d, &s)| d.sent - s)
+            .collect()
+    }
+}
+
+/// A point-in-time copy of the network counters.
+#[derive(Debug, Clone)]
+pub struct NetworkSnapshot {
+    /// Total messages at snapshot time.
+    pub total_messages: u64,
+    /// Total bytes at snapshot time.
+    pub total_bytes: u64,
+    /// Rounds at snapshot time.
+    pub rounds: u64,
+    /// Per-device sent counters.
+    pub per_device_sent: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accounting() {
+        let mut net = SimNetwork::new(3);
+        net.send(0, 1, 100);
+        net.send(0, 2, 50);
+        net.send(2, 0, 10);
+        net.send_to_server(1, 4);
+        net.send_from_server(1, 4);
+        net.round();
+        assert_eq!(net.device(0).sent, 2);
+        assert_eq!(net.device(0).received, 1);
+        assert_eq!(net.device(0).bytes_sent, 150);
+        assert_eq!(net.device(1).received, 2);
+        assert_eq!(net.total_messages(), 5);
+        assert_eq!(net.total_bytes(), 164);
+        assert_eq!(net.rounds(), 1);
+        assert_eq!(net.server_received(), 1);
+        assert!((net.avg_sent_per_device() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_differencing() {
+        let mut net = SimNetwork::new(2);
+        net.send(0, 1, 8);
+        let snap = net.snapshot();
+        net.send(0, 1, 8);
+        net.send(1, 0, 8);
+        let delta = net.sent_since(&snap);
+        assert_eq!(delta, vec![1, 1]);
+        assert_eq!(net.total_messages() - snap.total_messages, 2);
+    }
+}

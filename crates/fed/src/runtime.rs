@@ -1,0 +1,179 @@
+//! The synchronous federated round engine.
+//!
+//! Lumos "is a synchronized federated framework that operates in rounds and
+//! has to receive all the required updates to start the next round"
+//! (§IV-B). The engine owns the network ledger and the per-epoch timing
+//! records the system-cost experiments consume.
+
+use lumos_common::timer::Stopwatch;
+
+use crate::clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
+use crate::network::{NetworkSnapshot, SimNetwork};
+
+/// Record of one completed epoch.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Timing (measured + modeled).
+    pub timing: EpochTiming,
+    /// Average device-to-device messages per device during this epoch.
+    pub avg_messages_per_device: f64,
+    /// Total messages during this epoch.
+    pub total_messages: u64,
+}
+
+/// Synchronous round engine owning the network and epoch log.
+#[derive(Debug)]
+pub struct Runtime {
+    /// The simulated network.
+    pub network: SimNetwork,
+    cost_model: CostModel,
+    epochs: Vec<EpochRecord>,
+    current: Option<(usize, Stopwatch, NetworkSnapshot)>,
+}
+
+impl Runtime {
+    /// Creates a runtime for `n` devices.
+    pub fn new(n: usize, cost_model: CostModel) -> Self {
+        Self {
+            network: SimNetwork::new(n),
+            cost_model,
+            epochs: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// Begins an epoch: starts the wall timer and snapshots the ledger.
+    ///
+    /// # Panics
+    /// Panics if an epoch is already open.
+    pub fn begin_epoch(&mut self) {
+        assert!(self.current.is_none(), "previous epoch still open");
+        let idx = self.epochs.len();
+        self.current = Some((idx, Stopwatch::started(), self.network.snapshot()));
+    }
+
+    /// Ends the open epoch. `device_tree_nodes` and `layers` feed the
+    /// straggler cost model; message counts are read from the ledger delta.
+    ///
+    /// # Panics
+    /// Panics if no epoch is open.
+    pub fn end_epoch(&mut self, device_tree_nodes: &[usize], layers: usize) -> &EpochRecord {
+        let (idx, mut sw, snap) = self.current.take().expect("no epoch open");
+        sw.stop();
+        self.network.round();
+        let sent = self.network.sent_since(&snap);
+        let costs: Vec<f64> = device_tree_nodes
+            .iter()
+            .zip(&sent)
+            .map(|(&nodes, &msgs)| self.cost_model.device_cost(nodes, layers, msgs))
+            .collect();
+        let total_messages = self.network.total_messages() - snap.total_messages;
+        let n = self.network.num_devices().max(1) as f64;
+        self.epochs.push(EpochRecord {
+            epoch: idx,
+            timing: EpochTiming {
+                wall_secs: sw.secs(),
+                makespan: epoch_makespan(&costs),
+                mean_cost: epoch_mean_cost(&costs),
+            },
+            avg_messages_per_device: total_messages as f64 / n,
+            total_messages,
+        });
+        self.epochs.last().expect("just pushed")
+    }
+
+    /// All completed epochs.
+    pub fn epochs(&self) -> &[EpochRecord] {
+        &self.epochs
+    }
+
+    /// Mean wall seconds per epoch (Fig. 8b).
+    pub fn avg_epoch_wall_secs(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.epochs.iter().map(|e| e.timing.wall_secs).sum::<f64>() / self.epochs.len() as f64
+        }
+    }
+
+    /// Mean messages per device per epoch (Fig. 8a).
+    pub fn avg_messages_per_device_per_epoch(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.epochs
+                .iter()
+                .map(|e| e.avg_messages_per_device)
+                .sum::<f64>()
+                / self.epochs.len() as f64
+        }
+    }
+
+    /// Mean modeled makespan per epoch.
+    pub fn avg_epoch_makespan(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.epochs.iter().map(|e| e.timing.makespan).sum::<f64>() / self.epochs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_lifecycle_records_messages_and_times() {
+        let mut rt = Runtime::new(3, CostModel::default());
+        rt.begin_epoch();
+        rt.network.send(0, 1, 10);
+        rt.network.send(1, 2, 10);
+        rt.network.send(2, 0, 10);
+        let rec = rt.end_epoch(&[4, 7, 10], 2).clone();
+        assert_eq!(rec.epoch, 0);
+        assert_eq!(rec.total_messages, 3);
+        assert!((rec.avg_messages_per_device - 1.0).abs() < 1e-12);
+        assert!(rec.timing.wall_secs >= 0.0);
+        // Straggler: device 2 with 10 tree nodes dominates.
+        let m = CostModel::default();
+        assert!((rec.timing.makespan - m.device_cost(10, 2, 1)).abs() < 1e-9);
+        assert_eq!(rt.epochs().len(), 1);
+        assert_eq!(rt.network.rounds(), 1);
+    }
+
+    #[test]
+    fn averages_across_epochs() {
+        let mut rt = Runtime::new(2, CostModel::default());
+        for _ in 0..3 {
+            rt.begin_epoch();
+            rt.network.send(0, 1, 1);
+            rt.end_epoch(&[3, 3], 2);
+        }
+        assert!((rt.avg_messages_per_device_per_epoch() - 0.5).abs() < 1e-12);
+        assert!(rt.avg_epoch_makespan() > 0.0);
+        assert!(rt.avg_epoch_wall_secs() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nested_epochs_panic() {
+        let mut rt = Runtime::new(1, CostModel::default());
+        rt.begin_epoch();
+        rt.begin_epoch();
+    }
+
+    #[test]
+    #[should_panic]
+    fn end_without_begin_panics() {
+        let mut rt = Runtime::new(1, CostModel::default());
+        rt.end_epoch(&[1], 1);
+    }
+}

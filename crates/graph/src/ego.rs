@@ -1,0 +1,74 @@
+//! Ego networks — the only graph view a device holds.
+//!
+//! In the node-level federated setting (§IV-A) device `v` stores `E(v)`: its
+//! own id, its direct neighbors, and nothing else about the global topology.
+//! Features/labels live in `lumos-data`; this type is purely structural.
+
+use crate::graph::Graph;
+
+/// The ego network of one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgoNetwork {
+    /// The device's own vertex id.
+    pub center: u32,
+    /// Sorted ids of the device's direct neighbors.
+    pub neighbors: Vec<u32>,
+}
+
+impl EgoNetwork {
+    /// Extracts the ego network of `v` from the global graph.
+    pub fn from_graph(g: &Graph, v: u32) -> Self {
+        Self {
+            center: v,
+            neighbors: g.neighbors(v).to_vec(),
+        }
+    }
+
+    /// Degree of the center (the private value the paper protects).
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether `u` is a direct neighbor.
+    pub fn contains(&self, u: u32) -> bool {
+        self.neighbors.binary_search(&u).is_ok()
+    }
+}
+
+/// Splits a global graph into one ego network per vertex — the federation
+/// step that turns the centralized dataset into the node-separated setting.
+pub fn split_into_egos(g: &Graph) -> Vec<EgoNetwork> {
+    (0..g.num_nodes() as u32)
+        .map(|v| EgoNetwork::from_graph(g, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ego_extraction_matches_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3)]);
+        let e0 = EgoNetwork::from_graph(&g, 0);
+        assert_eq!(e0.center, 0);
+        assert_eq!(e0.neighbors, vec![1, 2]);
+        assert_eq!(e0.degree(), 2);
+        assert!(e0.contains(2));
+        assert!(!e0.contains(3));
+    }
+
+    #[test]
+    fn split_covers_every_vertex_and_edge_twice() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let egos = split_into_egos(&g);
+        assert_eq!(egos.len(), 5);
+        let total_degree: usize = egos.iter().map(|e| e.degree()).sum();
+        assert_eq!(total_degree, 2 * g.num_edges());
+        for e in &egos {
+            for &u in &e.neighbors {
+                assert!(g.has_edge(e.center, u));
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Sparse-access kernels for graph neural networks.
+//!
+//! Message passing on the batched tree graph reduces to three primitives:
+//! gathering source-node rows along edges, scatter-adding edge messages into
+//! destination nodes, and a segment softmax for attention coefficients. All
+//! are implemented over the dense [`Tensor`] with explicit index arrays.
+
+use crate::tensor::Tensor;
+
+/// Gathers rows: `out[i, :] = x[idx[i], :]`.
+///
+/// # Panics
+/// Panics if any index is out of bounds.
+pub fn gather_rows(x: &Tensor, idx: &[u32]) -> Tensor {
+    let (n, d) = x.dims();
+    let mut out = Tensor::zeros(idx.len(), d);
+    for (i, &j) in idx.iter().enumerate() {
+        let j = j as usize;
+        assert!(j < n, "gather index {j} out of bounds for {n} rows");
+        out.row_mut(i).copy_from_slice(x.row(j));
+    }
+    out
+}
+
+/// Scatter-add rows: `out[idx[i], :] += x[i, :]`, with `out` having
+/// `out_rows` rows.
+///
+/// This is the adjoint of [`gather_rows`]; in the GNN it accumulates edge
+/// messages at their destination vertices and leaf embeddings at their
+/// global vertices (the POOL layer).
+///
+/// # Panics
+/// Panics if `idx.len() != x.rows()` or any index is out of bounds.
+pub fn scatter_add_rows(x: &Tensor, idx: &[u32], out_rows: usize) -> Tensor {
+    let (n, d) = x.dims();
+    assert_eq!(idx.len(), n, "scatter index length must match row count");
+    let mut out = Tensor::zeros(out_rows, d);
+    for (i, &j) in idx.iter().enumerate() {
+        let j = j as usize;
+        assert!(j < out_rows, "scatter index {j} out of bounds for {out_rows} rows");
+        for (o, &v) in out.row_mut(j).iter_mut().zip(x.row(i)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Multiplies row `i` of `x` by the scalar `coeff[i]` (constant weights, as
+/// used for the symmetric GCN normalization `1/sqrt(d_u d_v)` and for mean
+/// pooling `1/count`).
+///
+/// # Panics
+/// Panics if `coeff.len() != x.rows()`.
+pub fn scale_rows(x: &Tensor, coeff: &[f32]) -> Tensor {
+    let (n, d) = x.dims();
+    assert_eq!(coeff.len(), n, "coefficient length must match row count");
+    let mut out = x.clone();
+    for (row, &c) in out.data_mut().chunks_exact_mut(d.max(1)).zip(coeff) {
+        for v in row {
+            *v *= c;
+        }
+    }
+    out
+}
+
+/// Softmax over segments: entries of `x` (shape `[e, h]`) are grouped by
+/// `seg[i]` (values in `0..n_seg`), and a numerically stable softmax is
+/// taken independently within each segment for each column.
+///
+/// Empty segments are fine (they simply produce no output rows). This is the
+/// GAT attention normalization: one segment per destination node, one column
+/// per attention head.
+///
+/// # Panics
+/// Panics if `seg.len() != x.rows()` or a segment id is out of bounds.
+pub fn segment_softmax(x: &Tensor, seg: &[u32], n_seg: usize) -> Tensor {
+    let (e, h) = x.dims();
+    assert_eq!(seg.len(), e, "segment length must match row count");
+    // Per-segment, per-column max for stability.
+    let mut seg_max = vec![f32::NEG_INFINITY; n_seg * h];
+    for (i, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        assert!(s < n_seg, "segment id {s} out of bounds for {n_seg}");
+        let row = x.row(i);
+        let m = &mut seg_max[s * h..(s + 1) * h];
+        for (mx, &v) in m.iter_mut().zip(row) {
+            *mx = mx.max(v);
+        }
+    }
+    // exp(x - max), accumulate sums.
+    let mut out = Tensor::zeros(e, h);
+    let mut seg_sum = vec![0.0f32; n_seg * h];
+    for (i, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        let m = &seg_max[s * h..(s + 1) * h];
+        let sums = &mut seg_sum[s * h..(s + 1) * h];
+        let row_in = x.row(i);
+        let row_out = out.row_mut(i);
+        for c in 0..h {
+            let v = (row_in[c] - m[c]).exp();
+            row_out[c] = v;
+            sums[c] += v;
+        }
+    }
+    // Normalize.
+    for (i, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        let sums = &seg_sum[s * h..(s + 1) * h];
+        let row_out = out.row_mut(i);
+        for c in 0..h {
+            // A segment sum is zero only if the segment is empty, which
+            // cannot happen for a row that belongs to it.
+            row_out[c] /= sums[c];
+        }
+    }
+    out
+}
+
+/// Backward pass for [`segment_softmax`]: given the forward output `y` and
+/// the upstream gradient `dy`, returns `dx = y * (dy - sum_seg(dy * y))`.
+pub fn segment_softmax_backward(y: &Tensor, dy: &Tensor, seg: &[u32], n_seg: usize) -> Tensor {
+    let (e, h) = y.dims();
+    assert_eq!(dy.dims(), (e, h), "dy shape mismatch");
+    assert_eq!(seg.len(), e, "segment length must match row count");
+    let mut seg_dot = vec![0.0f32; n_seg * h];
+    for (i, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        let dots = &mut seg_dot[s * h..(s + 1) * h];
+        let yr = y.row(i);
+        let dyr = dy.row(i);
+        for c in 0..h {
+            dots[c] += yr[c] * dyr[c];
+        }
+    }
+    let mut dx = Tensor::zeros(e, h);
+    for (i, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        let dots = &seg_dot[s * h..(s + 1) * h];
+        let yr = y.row(i);
+        let dyr = dy.row(i);
+        let dxr = dx.row_mut(i);
+        for c in 0..h {
+            dxr[c] = yr[c] * (dyr[c] - dots[c]);
+        }
+    }
+    dx
+}
+
+/// Row-wise log-softmax for classification heads.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let (n, c) = x.dims();
+    let mut out = Tensor::zeros(n, c);
+    for i in 0..n {
+        let row = x.row(i);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+        for (o, &v) in out.row_mut(i).iter_mut().zip(row) {
+            *o = v - lse;
+        }
+    }
+    out
+}
+
+/// Concatenates tensors horizontally (same row count).
+///
+/// # Panics
+/// Panics if the list is empty or row counts differ.
+pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_cols needs at least one input");
+    let n = parts[0].rows();
+    let total: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut out = Tensor::zeros(n, total);
+    for i in 0..n {
+        let row = out.row_mut(i);
+        let mut off = 0;
+        for p in parts {
+            assert_eq!(p.rows(), n, "concat_cols requires equal row counts");
+            let pc = p.cols();
+            row[off..off + pc].copy_from_slice(p.row(i));
+            off += pc;
+        }
+    }
+    out
+}
+
+/// Splits a tensor into horizontal blocks with the given column widths
+/// (inverse of [`concat_cols`]).
+///
+/// # Panics
+/// Panics if the widths do not sum to the column count.
+pub fn split_cols(x: &Tensor, widths: &[usize]) -> Vec<Tensor> {
+    let (n, c) = x.dims();
+    assert_eq!(widths.iter().sum::<usize>(), c, "widths must sum to cols");
+    let mut out: Vec<Tensor> = widths.iter().map(|&w| Tensor::zeros(n, w)).collect();
+    for i in 0..n {
+        let row = x.row(i);
+        let mut off = 0;
+        for (b, &w) in out.iter_mut().zip(widths) {
+            b.row_mut(i).copy_from_slice(&row[off..off + w]);
+            off += w;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_then_scatter_is_degree_weighted_identity() {
+        let x = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let idx = vec![0u32, 1, 1, 2];
+        let g = gather_rows(&x, &idx);
+        assert_eq!(g.dims(), (4, 2));
+        assert_eq!(g.row(2), &[3., 4.]);
+        let s = scatter_add_rows(&g, &idx, 3);
+        // Row 1 was gathered twice, so it doubles.
+        assert_eq!(s.row(0), &[1., 2.]);
+        assert_eq!(s.row(1), &[6., 8.]);
+        assert_eq!(s.row(2), &[5., 6.]);
+    }
+
+    #[test]
+    fn scatter_into_larger_output() {
+        let x = Tensor::from_vec(2, 1, vec![1., 2.]);
+        let s = scatter_add_rows(&x, &[4, 4], 6);
+        assert_eq!(s.rows(), 6);
+        assert_eq!(s.at(4, 0), 3.0);
+        assert_eq!(s.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn scale_rows_applies_per_row_coefficient() {
+        let x = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let y = scale_rows(&x, &[2.0, 0.5]);
+        assert_eq!(y.data(), &[2., 4., 1.5, 2.]);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let x = Tensor::from_vec(5, 2, vec![1., 0., 2., 0., 3., 0., -1., 5., 0.5, 5.]);
+        let seg = vec![0u32, 0, 0, 1, 1];
+        let y = segment_softmax(&x, &seg, 2);
+        let sum0: f32 = (0..3).map(|i| y.at(i, 0)).sum();
+        let sum1: f32 = (3..5).map(|i| y.at(i, 0)).sum();
+        assert!((sum0 - 1.0).abs() < 1e-6);
+        assert!((sum1 - 1.0).abs() < 1e-6);
+        // Monotone in the logits.
+        assert!(y.at(2, 0) > y.at(1, 0));
+        assert!(y.at(1, 0) > y.at(0, 0));
+        // Second head column normalizes independently.
+        let h1: f32 = (3..5).map(|i| y.at(i, 1)).sum();
+        assert!((h1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_single_element_segment_is_one() {
+        let x = Tensor::from_vec(1, 1, vec![-42.0]);
+        let y = segment_softmax(&x, &[0], 3);
+        assert!((y.item() - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn segment_softmax_is_stable_for_large_logits() {
+        let x = Tensor::from_vec(2, 1, vec![1e4, 1e4 + 1.0]);
+        let y = segment_softmax(&x, &[0, 0], 1);
+        assert!(y.all_finite());
+        assert!((y.at(0, 0) + y.at(1, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_backward_zero_for_uniform_upstream() {
+        // If dy is constant within a segment, dx must be ~0 (softmax is
+        // shift-invariant).
+        let x = Tensor::from_vec(3, 1, vec![0.3, -1.2, 2.0]);
+        let seg = vec![0u32, 0, 0];
+        let y = segment_softmax(&x, &seg, 1);
+        let dy = Tensor::full(3, 1, 5.0);
+        let dx = segment_softmax_backward(&y, &dy, &seg, 1);
+        for i in 0..3 {
+            assert!(dx.at(i, 0).abs() < 1e-5, "dx[{i}] = {}", dx.at(i, 0));
+        }
+    }
+
+    #[test]
+    fn log_softmax_rows_normalizes() {
+        let x = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let lp = log_softmax_rows(&x);
+        for i in 0..2 {
+            let total: f32 = lp.row(i).iter().map(|&v| v.exp()).sum();
+            assert!((total - 1.0).abs() < 1e-6);
+        }
+        // argmax preserved
+        assert!(lp.at(0, 2) > lp.at(0, 0));
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Tensor::from_vec(2, 1, vec![1., 2.]);
+        let b = Tensor::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let cat = concat_cols(&[&a, &b]);
+        assert_eq!(cat.dims(), (2, 3));
+        assert_eq!(cat.row(1), &[2., 5., 6.]);
+        let parts = split_cols(&cat, &[1, 2]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_out_of_bounds_panics() {
+        let x = Tensor::zeros(2, 2);
+        gather_rows(&x, &[5]);
+    }
+}

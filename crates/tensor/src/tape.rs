@@ -1,0 +1,796 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation as a node with an explicit [`Op`]
+//! descriptor (no closures), so the backward pass is a transparent reverse
+//! sweep with a `match` per op. One tape is built per training step; leaves
+//! are constants or snapshots of [`ParamStore`] parameters, and
+//! [`Tape::backward`] returns gradients that can be folded back into the
+//! store with [`Tape::accumulate_param_grads`].
+
+use std::rc::Rc;
+
+use crate::kernels::{
+    concat_cols, gather_rows, log_softmax_rows, scale_rows, scatter_add_rows, segment_softmax,
+    segment_softmax_backward, split_cols,
+};
+use crate::param::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a value recorded on a [`Tape`].
+pub type VarId = usize;
+
+/// Operation descriptor stored with each tape node.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Input value; optionally bound to a trainable parameter.
+    Leaf { param: Option<ParamId> },
+    /// Elementwise `a + b` (same shape).
+    Add(VarId, VarId),
+    /// Elementwise `a - b`.
+    Sub(VarId, VarId),
+    /// Elementwise `a * b`.
+    Mul(VarId, VarId),
+    /// `alpha * a`.
+    Scale(VarId, f32),
+    /// `[n,d] + [1,d]` row-broadcast (bias add).
+    AddRowBroadcast(VarId, VarId),
+    /// `[n,d] * [n,1]` column-broadcast (attention weighting).
+    MulColBroadcast(VarId, VarId),
+    /// Matrix product `a @ b`.
+    MatMul(VarId, VarId),
+    /// Rectified linear unit.
+    Relu(VarId),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(VarId, f32),
+    /// Logistic sigmoid.
+    Sigmoid(VarId),
+    /// Inverted dropout with a fixed 0/scale mask sampled at forward time.
+    Dropout(VarId, Rc<Vec<f32>>),
+    /// Row gather by index.
+    GatherRows(VarId, Rc<Vec<u32>>),
+    /// Row scatter-add into `out_rows` rows.
+    ScatterAddRows(VarId, Rc<Vec<u32>>, usize),
+    /// Constant per-row scaling (GCN normalization, mean-pool weights).
+    ScaleRows(VarId, Rc<Vec<f32>>),
+    /// Softmax within segments (GAT attention normalization).
+    SegmentSoftmax(VarId, Rc<Vec<u32>>, usize),
+    /// Horizontal concatenation (multi-head outputs).
+    ConcatCols(Vec<VarId>),
+    /// Sum of all elements, producing a 1×1 scalar.
+    SumAll(VarId),
+    /// Mean of all elements, producing a 1×1 scalar.
+    MeanAll(VarId),
+    /// Row-wise log-softmax.
+    LogSoftmaxRows(VarId),
+    /// Masked negative log-likelihood over rows of log-probabilities.
+    NllMasked {
+        logp: VarId,
+        targets: Rc<Vec<u32>>,
+        mask: Rc<Vec<f32>>,
+    },
+    /// Mean binary cross-entropy on logits against fixed targets.
+    BceWithLogitsMean { logits: VarId, targets: Rc<Vec<f32>> },
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`VarId`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. variable `id`, if it participated.
+    pub fn get(&self, id: VarId) -> Option<&Tensor> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+}
+
+/// A recording of a forward computation.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a recorded variable.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> VarId {
+        self.nodes.push(Node { op, value });
+        self.nodes.len() - 1
+    }
+
+    /// Records a constant (non-trainable) input.
+    pub fn constant(&mut self, value: Tensor) -> VarId {
+        self.push(Op::Leaf { param: None }, value)
+    }
+
+    /// Records a snapshot of a trainable parameter as a leaf.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        self.push(Op::Leaf { param: Some(id) }, store.value(id).clone())
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.add(&self.nodes[b].value);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.sub(&self.nodes[b].value);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.mul(&self.nodes[b].value);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: VarId, alpha: f32) -> VarId {
+        let v = self.nodes[a].value.scale(alpha);
+        self.push(Op::Scale(a, alpha), v)
+    }
+
+    /// Adds a `[1, d]` row vector to every row of a `[n, d]` matrix.
+    pub fn add_row_broadcast(&mut self, a: VarId, b: VarId) -> VarId {
+        let (n, d) = self.nodes[a].value.dims();
+        let (br, bc) = self.nodes[b].value.dims();
+        assert_eq!((br, bc), (1, d), "bias must be [1, {d}], got [{br}, {bc}]");
+        let mut v = self.nodes[a].value.clone();
+        for i in 0..n {
+            for (x, &y) in v.row_mut(i).iter_mut().zip(self.nodes[b].value.row(0)) {
+                *x += y;
+            }
+        }
+        self.push(Op::AddRowBroadcast(a, b), v)
+    }
+
+    /// Multiplies each row of a `[n, d]` matrix by the matching entry of a
+    /// `[n, 1]` column vector.
+    pub fn mul_col_broadcast(&mut self, a: VarId, b: VarId) -> VarId {
+        let (n, _d) = self.nodes[a].value.dims();
+        let (br, bc) = self.nodes[b].value.dims();
+        assert_eq!((br, bc), (n, 1), "column factor must be [{n}, 1]");
+        let mut v = self.nodes[a].value.clone();
+        for i in 0..n {
+            let c = self.nodes[b].value.at(i, 0);
+            for x in v.row_mut(i) {
+                *x *= c;
+            }
+        }
+        self.push(Op::MulColBroadcast(a, b), v)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Leaky ReLU activation.
+    pub fn leaky_relu(&mut self, a: VarId, slope: f32) -> VarId {
+        let v = self.nodes[a].value.map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(Op::LeakyRelu(a, slope), v)
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Inverted dropout. `mask` must contain `0.0` (dropped) or
+    /// `1/(1-p)` (kept) per element; sample it with
+    /// [`crate::nn::dropout_mask`].
+    pub fn dropout(&mut self, a: VarId, mask: Rc<Vec<f32>>) -> VarId {
+        let val = &self.nodes[a].value;
+        assert_eq!(mask.len(), val.len(), "dropout mask length mismatch");
+        let mut v = val.clone();
+        for (x, &m) in v.data_mut().iter_mut().zip(mask.iter()) {
+            *x *= m;
+        }
+        self.push(Op::Dropout(a, mask), v)
+    }
+
+    /// Gathers rows by index.
+    pub fn gather_rows(&mut self, a: VarId, idx: Rc<Vec<u32>>) -> VarId {
+        let v = gather_rows(&self.nodes[a].value, &idx);
+        self.push(Op::GatherRows(a, idx), v)
+    }
+
+    /// Scatter-adds rows into a tensor with `out_rows` rows.
+    pub fn scatter_add_rows(&mut self, a: VarId, idx: Rc<Vec<u32>>, out_rows: usize) -> VarId {
+        let v = scatter_add_rows(&self.nodes[a].value, &idx, out_rows);
+        self.push(Op::ScatterAddRows(a, idx, out_rows), v)
+    }
+
+    /// Scales each row by a constant coefficient (no gradient to the
+    /// coefficients).
+    pub fn scale_rows(&mut self, a: VarId, coeff: Rc<Vec<f32>>) -> VarId {
+        let v = scale_rows(&self.nodes[a].value, &coeff);
+        self.push(Op::ScaleRows(a, coeff), v)
+    }
+
+    /// Segment softmax (per destination node, per head).
+    pub fn segment_softmax(&mut self, a: VarId, seg: Rc<Vec<u32>>, n_seg: usize) -> VarId {
+        let v = segment_softmax(&self.nodes[a].value, &seg, n_seg);
+        self.push(Op::SegmentSoftmax(a, seg, n_seg), v)
+    }
+
+    /// Horizontal concatenation of several variables.
+    pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| &self.nodes[p].value).collect();
+        let v = concat_cols(&tensors);
+        self.push(Op::ConcatCols(parts.to_vec()), v)
+    }
+
+    /// Sum of all elements (1×1 output).
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.nodes[a].value.sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements (1×1 output).
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.nodes[a].value.mean());
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax_rows(&mut self, a: VarId) -> VarId {
+        let v = log_softmax_rows(&self.nodes[a].value);
+        self.push(Op::LogSoftmaxRows(a), v)
+    }
+
+    /// Masked NLL loss over rows of log-probabilities: returns
+    /// `-(Σ_i mask_i · logp[i, t_i]) / Σ_i mask_i` as a 1×1 scalar.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree, a target is out of range, or the mask sums
+    /// to zero.
+    pub fn nll_masked(&mut self, logp: VarId, targets: Rc<Vec<u32>>, mask: Rc<Vec<f32>>) -> VarId {
+        let val = &self.nodes[logp].value;
+        let (n, c) = val.dims();
+        assert_eq!(targets.len(), n, "targets length mismatch");
+        assert_eq!(mask.len(), n, "mask length mismatch");
+        let denom: f32 = mask.iter().sum();
+        assert!(denom > 0.0, "mask must select at least one row");
+        let mut total = 0.0f32;
+        for i in 0..n {
+            let t = targets[i] as usize;
+            assert!(t < c, "target {t} out of range for {c} classes");
+            total -= mask[i] * val.at(i, t);
+        }
+        let v = Tensor::scalar(total / denom);
+        self.push(Op::NllMasked { logp, targets, mask }, v)
+    }
+
+    /// Mean binary cross-entropy with logits:
+    /// `mean_i [ max(z,0) − z·t + ln(1+e^{−|z|}) ]`, a 1×1 scalar.
+    ///
+    /// # Panics
+    /// Panics if `targets.len()` differs from the element count.
+    pub fn bce_with_logits_mean(&mut self, logits: VarId, targets: Rc<Vec<f32>>) -> VarId {
+        let val = &self.nodes[logits].value;
+        assert_eq!(targets.len(), val.len(), "targets length mismatch");
+        let mut total = 0.0f32;
+        for (&z, &t) in val.data().iter().zip(targets.iter()) {
+            total += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        }
+        let v = Tensor::scalar(total / targets.len() as f32);
+        self.push(Op::BceWithLogitsMean { logits, targets }, v)
+    }
+
+    /// Reverse sweep from a scalar loss.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not 1×1.
+    pub fn backward(&self, loss: VarId) -> Gradients {
+        assert_eq!(
+            self.nodes[loss].value.dims(),
+            (1, 1),
+            "backward starts from a scalar loss"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss] = Some(Tensor::scalar(1.0));
+
+        for id in (0..=loss).rev() {
+            let Some(g) = grads[id].take() else {
+                continue;
+            };
+            // Put it back so callers can inspect intermediate grads.
+            let g_ref = g.clone();
+            grads[id] = Some(g);
+            let g = g_ref;
+            match &self.nodes[id].op {
+                Op::Leaf { .. } => {}
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, &g);
+                    accumulate(&mut grads, *b, &g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, &g);
+                    accumulate(&mut grads, *b, &g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let da = g.mul(&self.nodes[*b].value);
+                    let db = g.mul(&self.nodes[*a].value);
+                    accumulate(&mut grads, *a, &da);
+                    accumulate(&mut grads, *b, &db);
+                }
+                Op::Scale(a, alpha) => {
+                    accumulate(&mut grads, *a, &g.scale(*alpha));
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    accumulate(&mut grads, *a, &g);
+                    accumulate(&mut grads, *b, &g.sum_rows());
+                }
+                Op::MulColBroadcast(a, b) => {
+                    let bval = &self.nodes[*b].value;
+                    let aval = &self.nodes[*a].value;
+                    let (n, _d) = aval.dims();
+                    let mut da = g.clone();
+                    for i in 0..n {
+                        let c = bval.at(i, 0);
+                        for x in da.row_mut(i) {
+                            *x *= c;
+                        }
+                    }
+                    accumulate(&mut grads, *a, &da);
+                    let db = g.mul(aval).sum_cols();
+                    accumulate(&mut grads, *b, &db);
+                }
+                Op::MatMul(a, b) => {
+                    let da = g.matmul_nt(&self.nodes[*b].value);
+                    let db = self.nodes[*a].value.matmul_tn(&g);
+                    accumulate(&mut grads, *a, &da);
+                    accumulate(&mut grads, *b, &db);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[*a].value;
+                    let da = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let x = &self.nodes[*a].value;
+                    let s = *slope;
+                    let da = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { s * gi });
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[id].value;
+                    let da = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::Dropout(a, mask) => {
+                    let mut da = g.clone();
+                    for (x, &m) in da.data_mut().iter_mut().zip(mask.iter()) {
+                        *x *= m;
+                    }
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::GatherRows(a, idx) => {
+                    let rows = self.nodes[*a].value.rows();
+                    let da = scatter_add_rows(&g, idx, rows);
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::ScatterAddRows(a, idx, out_rows) => {
+                    debug_assert_eq!(g.rows(), *out_rows, "upstream gradient shape");
+                    let da = gather_rows(&g, idx);
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::ScaleRows(a, coeff) => {
+                    let da = scale_rows(&g, coeff);
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::SegmentSoftmax(a, seg, n_seg) => {
+                    let y = &self.nodes[id].value;
+                    let da = segment_softmax_backward(y, &g, seg, *n_seg);
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::ConcatCols(parts) => {
+                    let widths: Vec<usize> =
+                        parts.iter().map(|&p| self.nodes[p].value.cols()).collect();
+                    let pieces = split_cols(&g, &widths);
+                    for (&p, piece) in parts.iter().zip(&pieces) {
+                        accumulate(&mut grads, p, piece);
+                    }
+                }
+                Op::SumAll(a) => {
+                    let (r, c) = self.nodes[*a].value.dims();
+                    let da = Tensor::full(r, c, g.item());
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.nodes[*a].value.dims();
+                    let da = Tensor::full(r, c, g.item() / (r * c) as f32);
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::LogSoftmaxRows(a) => {
+                    // dx = g - softmax(x) * rowsum(g)
+                    let y = &self.nodes[id].value; // log-probs
+                    let (n, c) = y.dims();
+                    let mut da = g.clone();
+                    for i in 0..n {
+                        let row_g_sum: f32 = g.row(i).iter().sum();
+                        let yr = y.row(i);
+                        let dr = da.row_mut(i);
+                        for j in 0..c {
+                            dr[j] -= yr[j].exp() * row_g_sum;
+                        }
+                    }
+                    accumulate(&mut grads, *a, &da);
+                }
+                Op::NllMasked { logp, targets, mask } => {
+                    let (n, c) = self.nodes[*logp].value.dims();
+                    let denom: f32 = mask.iter().sum();
+                    let scale = g.item() / denom;
+                    let mut da = Tensor::zeros(n, c);
+                    for i in 0..n {
+                        let t = targets[i] as usize;
+                        da.set(i, t, -mask[i] * scale);
+                    }
+                    accumulate(&mut grads, *logp, &da);
+                }
+                Op::BceWithLogitsMean { logits, targets } => {
+                    let z = &self.nodes[*logits].value;
+                    let n = targets.len() as f32;
+                    let scale = g.item() / n;
+                    let mut da = z.clone();
+                    for (x, &t) in da.data_mut().iter_mut().zip(targets.iter()) {
+                        let sig = 1.0 / (1.0 + (-*x).exp());
+                        *x = (sig - t) * scale;
+                    }
+                    accumulate(&mut grads, *logits, &da);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+
+    /// Folds leaf gradients into the owning [`ParamStore`].
+    pub fn accumulate_param_grads(&self, grads: &Gradients, store: &mut ParamStore) {
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Op::Leaf { param: Some(pid) } = node.op {
+                if let Some(g) = grads.get(id) {
+                    store.accumulate_grad(pid, g);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: VarId, g: &Tensor) {
+    match &mut grads[id] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks `loss = mean(sigmoid(x @ w + b))` against finite differences.
+    /// Sigmoid is smooth everywhere, so the comparison is exact up to f32
+    /// truncation (ReLU's kink is covered by a dedicated test below).
+    #[test]
+    fn linear_sigmoid_gradients_match_finite_difference() {
+        let mut store = ParamStore::new();
+        let mut rng = lumos_common::rng::Xoshiro256pp::seed_from_u64(7);
+        let w = store.add("w", Tensor::rand_uniform(3, 2, -1.0, 1.0, &mut rng));
+        let b = store.add("b", Tensor::rand_uniform(1, 2, -0.5, 0.5, &mut rng));
+        let x = Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+
+        let eval = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let xv = t.constant(x.clone());
+            let wv = t.param(store, w);
+            let bv = t.param(store, b);
+            let h = t.matmul(xv, wv);
+            let h = t.add_row_broadcast(h, bv);
+            let h = t.sigmoid(h);
+            let l = t.mean_all(h);
+            t.value(l).item()
+        };
+
+        // Analytic gradients.
+        let mut t = Tape::new();
+        let xv = t.constant(x.clone());
+        let wv = t.param(&store, w);
+        let bv = t.param(&store, b);
+        let h = t.matmul(xv, wv);
+        let h = t.add_row_broadcast(h, bv);
+        let h = t.sigmoid(h);
+        let l = t.mean_all(h);
+        let grads = t.backward(l);
+        store.zero_grad();
+        t.accumulate_param_grads(&grads, &mut store);
+
+        // Finite differences.
+        let num_w = crate::gradcheck::numeric_grad(&mut store, w, &eval, 1e-3);
+        let num_b = crate::gradcheck::numeric_grad(&mut store, b, &eval, 1e-3);
+        assert!(
+            store.get(w).grad.max_abs_diff(&num_w) < 1e-2,
+            "w grads differ: {:?} vs {:?}",
+            store.get(w).grad,
+            num_w
+        );
+        assert!(store.get(b).grad.max_abs_diff(&num_b) < 1e-2);
+    }
+
+    /// ReLU backward on values safely away from the kink at zero.
+    #[test]
+    fn relu_backward_exact_away_from_kink() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(1, 4, vec![-2.0, -0.5, 0.5, 2.0]));
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let r = t.relu(av);
+        let w = t.constant(Tensor::from_vec(1, 4, vec![10.0, 20.0, 30.0, 40.0]));
+        let m = t.mul(r, w);
+        let l = t.sum_all(m);
+        let grads = t.backward(l);
+        t.accumulate_param_grads(&grads, &mut store);
+        assert_eq!(store.get(a).grad.data(), &[0.0, 0.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn mul_and_scale_gradients() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(1, 2, vec![2.0, 3.0]));
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let sq = t.mul(av, av); // a^2
+        let scaled = t.scale(sq, 0.5); // a^2 / 2
+        let l = t.sum_all(scaled);
+        let grads = t.backward(l);
+        t.accumulate_param_grads(&grads, &mut store);
+        // d/da (a^2/2) = a
+        assert_eq!(store.get(a).grad.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_scatter_gradients_match_finite_difference() {
+        let mut store = ParamStore::new();
+        let mut rng = lumos_common::rng::Xoshiro256pp::seed_from_u64(11);
+        let x = store.add("x", Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng));
+        let idx = Rc::new(vec![0u32, 2, 2, 3, 1]);
+        let dst = Rc::new(vec![1u32, 0, 1, 1, 0]);
+
+        let eval = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let xv = t.param(store, x);
+            let gath = t.gather_rows(xv, idx.clone());
+            let act = t.leaky_relu(gath, 0.2);
+            let sc = t.scatter_add_rows(act, dst.clone(), 2);
+            let l = t.sum_all(sc);
+            t.value(l).item()
+        };
+
+        let mut t = Tape::new();
+        let xv = t.param(&store, x);
+        let gath = t.gather_rows(xv, idx.clone());
+        let act = t.leaky_relu(gath, 0.2);
+        let sc = t.scatter_add_rows(act, dst.clone(), 2);
+        let l = t.sum_all(sc);
+        let grads = t.backward(l);
+        store.zero_grad();
+        t.accumulate_param_grads(&grads, &mut store);
+        let numeric = crate::gradcheck::numeric_grad(&mut store, x, &eval, 1e-3);
+        assert!(store.get(x).grad.max_abs_diff(&numeric) < 1e-2);
+    }
+
+    #[test]
+    fn segment_softmax_gradients_match_finite_difference() {
+        let mut store = ParamStore::new();
+        let mut rng = lumos_common::rng::Xoshiro256pp::seed_from_u64(13);
+        let x = store.add("x", Tensor::rand_uniform(5, 2, -1.0, 1.0, &mut rng));
+        let seg = Rc::new(vec![0u32, 0, 1, 1, 1]);
+        let weight = Tensor::rand_uniform(5, 2, 0.1, 1.0, &mut rng);
+
+        let eval = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let xv = t.param(store, x);
+            let sm = t.segment_softmax(xv, seg.clone(), 2);
+            let wv = t.constant(weight.clone());
+            let weighted = t.mul(sm, wv);
+            let l = t.sum_all(weighted);
+            t.value(l).item()
+        };
+
+        let mut t = Tape::new();
+        let xv = t.param(&store, x);
+        let sm = t.segment_softmax(xv, seg.clone(), 2);
+        let wv = t.constant(weight.clone());
+        let weighted = t.mul(sm, wv);
+        let l = t.sum_all(weighted);
+        let grads = t.backward(l);
+        store.zero_grad();
+        t.accumulate_param_grads(&grads, &mut store);
+        let numeric = crate::gradcheck::numeric_grad(&mut store, x, &eval, 1e-3);
+        assert!(
+            store.get(x).grad.max_abs_diff(&numeric) < 1e-2,
+            "{:?} vs {numeric:?}",
+            store.get(x).grad
+        );
+    }
+
+    #[test]
+    fn nll_loss_gradients_match_finite_difference() {
+        let mut store = ParamStore::new();
+        let mut rng = lumos_common::rng::Xoshiro256pp::seed_from_u64(17);
+        let x = store.add("x", Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng));
+        let targets = Rc::new(vec![0u32, 2, 1, 2]);
+        let mask = Rc::new(vec![1.0f32, 1.0, 0.0, 1.0]);
+
+        let eval = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let xv = t.param(store, x);
+            let lp = t.log_softmax_rows(xv);
+            let l = t.nll_masked(lp, targets.clone(), mask.clone());
+            t.value(l).item()
+        };
+
+        let mut t = Tape::new();
+        let xv = t.param(&store, x);
+        let lp = t.log_softmax_rows(xv);
+        let l = t.nll_masked(lp, targets.clone(), mask.clone());
+        let grads = t.backward(l);
+        store.zero_grad();
+        t.accumulate_param_grads(&grads, &mut store);
+        let numeric = crate::gradcheck::numeric_grad(&mut store, x, &eval, 1e-3);
+        assert!(store.get(x).grad.max_abs_diff(&numeric) < 1e-2);
+    }
+
+    #[test]
+    fn bce_with_logits_gradients_match_finite_difference() {
+        let mut store = ParamStore::new();
+        let mut rng = lumos_common::rng::Xoshiro256pp::seed_from_u64(19);
+        let z = store.add("z", Tensor::rand_uniform(6, 1, -2.0, 2.0, &mut rng));
+        let targets = Rc::new(vec![1.0f32, 0.0, 1.0, 1.0, 0.0, 0.0]);
+
+        let eval = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let zv = t.param(store, z);
+            let l = t.bce_with_logits_mean(zv, targets.clone());
+            t.value(l).item()
+        };
+
+        let mut t = Tape::new();
+        let zv = t.param(&store, z);
+        let l = t.bce_with_logits_mean(zv, targets.clone());
+        let grads = t.backward(l);
+        store.zero_grad();
+        t.accumulate_param_grads(&grads, &mut store);
+        let numeric = crate::gradcheck::numeric_grad(&mut store, z, &eval, 1e-3);
+        assert!(store.get(z).grad.max_abs_diff(&numeric) < 1e-2);
+    }
+
+    #[test]
+    fn concat_cols_routes_gradients_to_parts() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(2, 1, vec![1.0, 2.0]));
+        let b = store.add("b", Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let bv = t.param(&store, b);
+        let cat = t.concat_cols(&[av, bv]);
+        let mask = t.constant(Tensor::from_vec(2, 3, vec![1., 0., 2., 0., 3., 0.]));
+        let m = t.mul(cat, mask);
+        let l = t.sum_all(m);
+        let grads = t.backward(l);
+        t.accumulate_param_grads(&grads, &mut store);
+        assert_eq!(store.get(a).grad.data(), &[1.0, 0.0]);
+        assert_eq!(store.get(b).grad.data(), &[0.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn mul_col_broadcast_gradients_match_finite_difference() {
+        let mut store = ParamStore::new();
+        let mut rng = lumos_common::rng::Xoshiro256pp::seed_from_u64(23);
+        let a = store.add("a", Tensor::rand_uniform(3, 4, -1.0, 1.0, &mut rng));
+        let c = store.add("c", Tensor::rand_uniform(3, 1, -1.0, 1.0, &mut rng));
+
+        let eval = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let av = t.param(store, a);
+            let cv = t.param(store, c);
+            let m = t.mul_col_broadcast(av, cv);
+            let s = t.sigmoid(m);
+            let l = t.mean_all(s);
+            t.value(l).item()
+        };
+
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let cv = t.param(&store, c);
+        let m = t.mul_col_broadcast(av, cv);
+        let s = t.sigmoid(m);
+        let l = t.mean_all(s);
+        let grads = t.backward(l);
+        store.zero_grad();
+        t.accumulate_param_grads(&grads, &mut store);
+        let na = crate::gradcheck::numeric_grad(&mut store, a, &eval, 1e-3);
+        let nc = crate::gradcheck::numeric_grad(&mut store, c, &eval, 1e-3);
+        assert!(store.get(a).grad.max_abs_diff(&na) < 1e-2);
+        assert!(store.get(c).grad.max_abs_diff(&nc) < 1e-2);
+    }
+
+    #[test]
+    fn dropout_backward_respects_mask() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(1, 4, vec![1., 2., 3., 4.]));
+        let mask = Rc::new(vec![0.0f32, 2.0, 0.0, 2.0]);
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let d = t.dropout(av, mask);
+        let l = t.sum_all(d);
+        assert_eq!(t.value(d).data(), &[0., 4., 0., 8.]);
+        let grads = t.backward(l);
+        t.accumulate_param_grads(&grads, &mut store);
+        assert_eq!(store.get(a).grad.data(), &[0., 2., 0., 2.]);
+    }
+
+    #[test]
+    fn diamond_reuse_accumulates_gradients() {
+        // loss = sum(a + a) must give da = 2.
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(1, 2, vec![1.0, -1.0]));
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let s = t.add(av, av);
+        let l = t.sum_all(s);
+        let grads = t.backward(l);
+        t.accumulate_param_grads(&grads, &mut store);
+        assert_eq!(store.get(a).grad.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_gradient_signs() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::scalar(3.0));
+        let b = store.add("b", Tensor::scalar(1.0));
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let bv = t.param(&store, b);
+        let d = t.sub(av, bv);
+        let l = t.sum_all(d);
+        let grads = t.backward(l);
+        t.accumulate_param_grads(&grads, &mut store);
+        assert_eq!(store.get(a).grad.item(), 1.0);
+        assert_eq!(store.get(b).grad.item(), -1.0);
+    }
+}

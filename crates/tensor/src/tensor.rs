@@ -1,0 +1,495 @@
+//! A dense, row-major, two-dimensional `f32` tensor.
+//!
+//! Everything the GNN trainer needs is expressible over matrices: node
+//! feature matrices `[n, d]`, weight matrices `[d_in, d_out]`, per-edge
+//! attention logits `[e, heads]`, column vectors `[n, 1]` and scalars
+//! `[1, 1]`. Restricting the engine to rank 2 keeps every kernel simple,
+//! auditable and fast.
+
+use lumos_common::rng::Xoshiro256pp;
+
+/// Dense row-major matrix of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw parts.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape [{rows}, {cols}]",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// 1×1 tensor holding a scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// I.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Xoshiro256pp) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| lo + (hi - lo) * rng.next_f32())
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// I.i.d. standard-normal entries scaled by `std` (Box–Muller).
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Xoshiro256pp) -> Self {
+        let dist = lumos_common::dist::Normal::new(0.0, std as f64);
+        let data = (0..rows * cols).map(|_| dist.sample(rng) as f32).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Glorot/Xavier uniform initialization for a `[fan_in, fan_out]` weight.
+    pub fn glorot(fan_in: usize, fan_out: usize, rng: &mut Xoshiro256pp) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Self::rand_uniform(fan_in, fan_out, -limit, limit, rng)
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single element of a 1×1 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 1×1.
+    pub fn item(&self) -> f32 {
+        assert_eq!((self.rows, self.cols), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data.iter_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise sum with another tensor of identical shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise combination with another tensor of identical shape.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.dims(), other.dims(), "shape mismatch in elementwise op");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.dims(), other.dims(), "shape mismatch in add_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(self.dims(), other.dims(), "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, alpha: f32) -> Self {
+        self.map(|x| alpha * x)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 if empty).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order and skips zero multipliers
+    /// (useful because LDP-encoded features contain many constants).
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims: [{},{}] @ [{},{}]",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a != 0.0 {
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        Self::from_vec(m, n, out)
+    }
+
+    /// `self @ other^T` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt inner dims: [{},{}] @ [{},{}]^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Self::from_vec(m, n, out)
+    }
+
+    /// `self^T @ other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn inner dims: [{},{}]^T @ [{},{}]",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a != 0.0 {
+                    let o_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        Self::from_vec(m, n, out)
+    }
+
+    /// Sum over rows, producing a `[1, cols]` row vector.
+    pub fn sum_rows(&self) -> Self {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        Self::from_vec(1, self.cols, out)
+    }
+
+    /// Sum over columns, producing an `[rows, 1]` column vector.
+    pub fn sum_cols(&self) -> Self {
+        let data = (0..self.rows)
+            .map(|r| self.row(r).iter().sum())
+            .collect();
+        Self::from_vec(self.rows, 1, data)
+    }
+
+    /// Maximum absolute difference from another tensor of identical shape.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// True if all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let t = Tensor::zeros(2, 3);
+        assert_eq!(t.dims(), (2, 3));
+        assert_eq!(t.len(), 6);
+        assert_eq!(Tensor::ones(1, 2).data(), &[1.0, 1.0]);
+        assert_eq!(Tensor::scalar(4.0).item(), 4.0);
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(1, 1), 1.0);
+        assert_eq!(i.at(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_nt_and_tn_agree_with_explicit_transpose() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let a = Tensor::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_nt(&b);
+        assert!(via_t.max_abs_diff(&direct) < 1e-6);
+
+        let c = Tensor::rand_uniform(4, 6, -1.0, 1.0, &mut rng);
+        let via_t2 = a.transpose().matmul(&c);
+        let direct2 = a.matmul_tn(&c);
+        assert!(via_t2.max_abs_diff(&direct2) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let a = Tensor::rand_uniform(3, 7, -2.0, 2.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Tensor::from_vec(1, 3, vec![4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).data(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+        assert_eq!(a.sum(), 6.0);
+        assert!((a.mean() - 2.0).abs() < 1e-7);
+        assert_eq!(a.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Tensor::from_vec(1, 2, vec![1., 1.]);
+        let b = Tensor::from_vec(1, 2, vec![2., 3.]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[3., 4.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[4., 5.5]);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum_rows().data(), &[5., 7., 9.]);
+        assert_eq!(a.sum_cols().data(), &[6., 15.]);
+    }
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let w = Tensor::glorot(64, 16, &mut rng);
+        let limit = (6.0f32 / 80.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= limit));
+        // Should not be degenerate.
+        assert!(w.data().iter().any(|&x| x.abs() > limit * 0.1));
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let x = Tensor::randn(100, 100, 2.0, &mut rng);
+        let mean = x.mean();
+        let var = x.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / x.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn item_requires_scalar() {
+        Tensor::zeros(2, 1).item();
+    }
+}

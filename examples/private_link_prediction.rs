@@ -1,0 +1,40 @@
+//! Unsupervised federated link prediction (§VI-C-b): devices learn node
+//! embeddings without any labels by predicting which of their relations
+//! exist, under full feature and degree protection.
+//!
+//! The scenario: a decentralized social app wants friend recommendations.
+//! No device reveals its friend count (degree) or its profile vector.
+//!
+//! ```sh
+//! cargo run --release --example private_link_prediction
+//! ```
+
+use lumos::core::{run_lumos, LumosConfig, TaskKind};
+use lumos::data::{Dataset, Scale};
+use lumos::gnn::Backbone;
+
+fn main() {
+    let ds = Dataset::lastfm_like(Scale::Smoke);
+    println!(
+        "dataset: {} — {} devices, {} follow relations",
+        ds.name,
+        ds.num_nodes(),
+        ds.graph.num_edges()
+    );
+
+    // Sweep the privacy budget to expose the privacy/utility trade-off the
+    // paper studies in Figure 5.
+    for epsilon in [0.5, 2.0, 4.0] {
+        let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Unsupervised)
+            .with_epochs(150)
+            .with_mcmc_iterations(30)
+            .with_epsilon(epsilon);
+        let report = run_lumos(&ds, &cfg);
+        println!(
+            "ε = {epsilon:>3}: link-prediction ROC-AUC = {:.4} \
+             ({:.1} msgs/device/epoch)",
+            report.test_metric, report.avg_messages_per_device_per_epoch
+        );
+    }
+    println!("larger ε ⇒ less noise ⇒ better AUC — the Figure 5b trend");
+}
