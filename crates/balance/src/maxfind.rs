@@ -67,7 +67,9 @@ pub fn find_max_workload_device(
     let mut server = ServerTraffic::default();
     // Every device sends its candidate flag to the server (Alg. 3 line 16).
     server.messages += n as u64;
-    let cvs: Vec<u32> = (0..n as u32).filter(|&v| is_candidate[v as usize]).collect();
+    let cvs: Vec<u32> = (0..n as u32)
+        .filter(|&v| is_candidate[v as usize])
+        .collect();
 
     // Phase 2 (device operation 2): candidates compare pairwise.
     let mut best: Vec<u32> = Vec::new();
@@ -154,7 +156,10 @@ mod tests {
             assert_eq!(a.workload(out.device), 1);
             seen.insert(out.device);
         }
-        assert!(seen.len() > 1, "tie-break should vary with server randomness");
+        assert!(
+            seen.len() > 1,
+            "tie-break should vary with server randomness"
+        );
     }
 
     #[test]

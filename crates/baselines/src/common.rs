@@ -13,8 +13,8 @@ use lumos_core::config::TaskKind;
 use lumos_core::report::{EpochMetrics, RunReport};
 use lumos_data::{sample_non_edges, EdgeSplit, NodeSplit};
 use lumos_gnn::{
-    accuracy_masked, cross_entropy_masked, link_logits, link_prediction_loss, roc_auc,
-    Backbone, EncoderConfig, GnnEncoder, LinearDecoder, MessageGraph,
+    accuracy_masked, cross_entropy_masked, link_logits, link_prediction_loss, roc_auc, Backbone,
+    EncoderConfig, GnnEncoder, LinearDecoder, MessageGraph,
 };
 use lumos_graph::Graph;
 use lumos_tensor::{Adam, ParamStore, Tape, Tensor, VarId};
@@ -77,7 +77,12 @@ pub fn train_plain(run: PlainRun<'_>) -> RunReport {
     };
     let mut opt = Adam::new(run.lr);
 
-    let mut report = RunReport::new(run.system, run.dataset, run.backbone.name(), run.task.name());
+    let mut report = RunReport::new(
+        run.system,
+        run.dataset,
+        run.backbone.name(),
+        run.task.name(),
+    );
     let targets = Rc::new(run.train_labels.clone());
     let train_mask: Option<Rc<Vec<f32>>> = run.node_split.as_ref().map(|s| {
         Rc::new(
@@ -95,14 +100,11 @@ pub fn train_plain(run: PlainRun<'_>) -> RunReport {
         )
     });
 
-    let forward = |tape: &mut Tape,
-                   store: &ParamStore,
-                   training: bool,
-                   rng: &mut Xoshiro256pp|
-     -> VarId {
-        let x = tape.constant(run.features.clone());
-        encoder.forward(tape, store, x, &mg, training, rng)
-    };
+    let forward =
+        |tape: &mut Tape, store: &ParamStore, training: bool, rng: &mut Xoshiro256pp| -> VarId {
+            let x = tape.constant(run.features.clone());
+            encoder.forward(tape, store, x, &mg, training, rng)
+        };
 
     let mut best_val = 0.0f64;
     let mut epoch_time = Stopwatch::new();
@@ -139,7 +141,15 @@ pub fn train_plain(run: PlainRun<'_>) -> RunReport {
         epoch_time.stop();
 
         if epoch % run.eval_every == 0 || epoch + 1 == run.epochs {
-            let val = eval_metric(&run, &encoder, decoder.as_ref(), &store, &mg, false, &mut rng);
+            let val = eval_metric(
+                &run,
+                &encoder,
+                decoder.as_ref(),
+                &store,
+                &mg,
+                false,
+                &mut rng,
+            );
             best_val = best_val.max(val);
             report.history.push(EpochMetrics {
                 epoch,
@@ -149,7 +159,15 @@ pub fn train_plain(run: PlainRun<'_>) -> RunReport {
         }
     }
 
-    report.test_metric = eval_metric(&run, &encoder, decoder.as_ref(), &store, &mg, true, &mut rng);
+    report.test_metric = eval_metric(
+        &run,
+        &encoder,
+        decoder.as_ref(),
+        &store,
+        &mg,
+        true,
+        &mut rng,
+    );
     report.best_val_metric = best_val;
     report.avg_epoch_secs = epoch_time.secs() / run.epochs.max(1) as f64;
     report
@@ -170,7 +188,11 @@ fn eval_metric(
     match run.task {
         TaskKind::Supervised => {
             let split = run.node_split.as_ref().expect("split");
-            let mask = if test { &split.test_mask } else { &split.val_mask };
+            let mask = if test {
+                &split.test_mask
+            } else {
+                &split.val_mask
+            };
             let dec = decoder.expect("head");
             let logits = dec.forward(&mut tape, store, h);
             accuracy_masked(tape.value(logits), run.true_labels, mask)

@@ -377,7 +377,11 @@ mod tests {
     fn centralized_supervised_is_strong() {
         let ds = Dataset::facebook_like(Scale::Smoke);
         let r = run_centralized(&ds, &cfg(TaskKind::Supervised));
-        assert!(r.test_metric > 0.75, "centralized accuracy {}", r.test_metric);
+        assert!(
+            r.test_metric > 0.75,
+            "centralized accuracy {}",
+            r.test_metric
+        );
         assert_eq!(r.system, "centralized");
     }
 
@@ -419,11 +423,7 @@ mod tests {
     #[should_panic]
     fn lpgnn_rejects_unsupervised() {
         let ds = Dataset::facebook_like(Scale::Smoke);
-        let _ = run_lpgnn(
-            &ds,
-            &cfg(TaskKind::Unsupervised),
-            &LpgnnParams::default(),
-        );
+        let _ = run_lpgnn(&ds, &cfg(TaskKind::Unsupervised), &LpgnnParams::default());
     }
 
     #[test]

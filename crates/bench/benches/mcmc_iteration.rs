@@ -6,8 +6,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lumos_balance::{
-    find_max_workload_device, greedy_init, mcmc_balance, Assignment, McmcConfig,
-    MeteredPlainOracle,
+    find_max_workload_device, greedy_init, mcmc_balance, Assignment, McmcConfig, MeteredPlainOracle,
 };
 use lumos_common::rng::Xoshiro256pp;
 use lumos_data::{Dataset, Scale};
@@ -46,7 +45,10 @@ fn bench_mcmc(c: &mut Criterion) {
         b.iter(|| {
             let mut oracle = MeteredPlainOracle::new();
             let init = greedy_init(&ds.graph, &mut oracle);
-            let cfg = McmcConfig { iterations: 30, seed: 1 };
+            let cfg = McmcConfig {
+                iterations: 30,
+                seed: 1,
+            };
             black_box(mcmc_balance(&ds.graph, init, &cfg, &mut oracle))
         })
     });
@@ -54,7 +56,10 @@ fn bench_mcmc(c: &mut Criterion) {
         b.iter(|| {
             let mut oracle = MeteredPlainOracle::new();
             let init = Assignment::full(&ds.graph);
-            let cfg = McmcConfig { iterations: 30, seed: 1 };
+            let cfg = McmcConfig {
+                iterations: 30,
+                seed: 1,
+            };
             black_box(mcmc_balance(&ds.graph, init, &cfg, &mut oracle))
         })
     });

@@ -12,7 +12,10 @@ fn bench_device_tree(c: &mut Criterion) {
     c.bench_function("device_tree_wl32", |b| {
         let neighbors: Vec<u32> = (1..=32).collect();
         b.iter(|| {
-            black_box(DeviceTree::with_virtual_nodes(0, black_box(neighbors.clone())))
+            black_box(DeviceTree::with_virtual_nodes(
+                0,
+                black_box(neighbors.clone()),
+            ))
         })
     });
 }
@@ -30,10 +33,23 @@ fn bench_batched_forest(c: &mut Criterion) {
         .collect();
     let mut rng = Xoshiro256pp::seed_from_u64(1);
     let mut net = SimNetwork::new(ds.num_nodes());
-    let exchange =
-        exchange_features(&ds.features, ds.feature_dim, &trees, 2.0, &mut rng, &mut net);
+    let exchange = exchange_features(
+        &ds.features,
+        ds.feature_dim,
+        &trees,
+        2.0,
+        &mut rng,
+        &mut net,
+    );
     c.bench_function("build_batched_forest_smoke", |b| {
-        b.iter(|| black_box(build_batched(&trees, &ds.features, ds.feature_dim, &exchange)))
+        b.iter(|| {
+            black_box(build_batched(
+                &trees,
+                &ds.features,
+                ds.feature_dim,
+                &exchange,
+            ))
+        })
     });
 }
 

@@ -38,8 +38,8 @@ impl HarnessArgs {
             match arg.as_str() {
                 "--scale" => {
                     let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
-                    out.scale = Scale::parse(&v)
-                        .unwrap_or_else(|| usage(&format!("unknown scale '{v}'")));
+                    out.scale =
+                        Scale::parse(&v).unwrap_or_else(|| usage(&format!("unknown scale '{v}'")));
                 }
                 "--seed" => {
                     let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));

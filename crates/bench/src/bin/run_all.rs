@@ -5,7 +5,10 @@ use lumos_common::table::{fmt2, Table};
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("# Lumos reproduction — full experiment suite ({:?})\n", args.scale);
+    println!(
+        "# Lumos reproduction — full experiment suite ({:?})\n",
+        args.scale
+    );
 
     table1::run(args.scale).print();
     fig7::table(&fig7::run(&args)).print();
@@ -40,8 +43,16 @@ fn main() {
         "Headline claims (paper abstract: +39.48% accuracy, −35.16% comm, −17.74% time)",
         &["claim", "paper", "measured"],
     );
-    t.push_row(["accuracy increase vs naive FedGNN (%)", "39.48", &fmt2(acc_gain)]);
-    t.push_row(["inter-device communication saved (%)", "35.16", &fmt2(comm_saved)]);
+    t.push_row([
+        "accuracy increase vs naive FedGNN (%)",
+        "39.48",
+        &fmt2(acc_gain),
+    ]);
+    t.push_row([
+        "inter-device communication saved (%)",
+        "35.16",
+        &fmt2(comm_saved),
+    ]);
     t.push_row(["training time saved (%)", "17.74", &fmt2(time_saved)]);
     t.print();
 }

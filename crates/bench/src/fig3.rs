@@ -71,7 +71,14 @@ pub fn run(args: &HarnessArgs) -> Vec<Fig3Row> {
 pub fn table(rows: &[Fig3Row]) -> Table {
     let mut t = Table::new(
         "Figure 3: label classification accuracy (%)",
-        &["dataset", "backbone", "Lumos", "Centralized", "LPGNN", "Naive FedGNN"],
+        &[
+            "dataset",
+            "backbone",
+            "Lumos",
+            "Centralized",
+            "LPGNN",
+            "Naive FedGNN",
+        ],
     );
     for r in rows {
         t.push_row([
@@ -90,7 +97,13 @@ pub fn table(rows: &[Fig3Row]) -> Table {
 pub fn summary(rows: &[Fig3Row]) -> Table {
     let mut t = Table::new(
         "Figure 3 follow-ups (paper §VIII-D1 claims)",
-        &["dataset", "backbone", "loss vs centralized (%)", "gain vs LPGNN (%)", "gain vs naive (%)"],
+        &[
+            "dataset",
+            "backbone",
+            "loss vs centralized (%)",
+            "gain vs LPGNN (%)",
+            "gain vs naive (%)",
+        ],
     );
     for r in rows {
         t.push_row([

@@ -62,7 +62,13 @@ pub fn run(args: &HarnessArgs) -> Vec<Fig4Row> {
 pub fn table(rows: &[Fig4Row]) -> Table {
     let mut t = Table::new(
         "Figure 4: link prediction ROC-AUC",
-        &["dataset", "backbone", "Lumos", "Centralized", "Naive FedGNN"],
+        &[
+            "dataset",
+            "backbone",
+            "Lumos",
+            "Centralized",
+            "Naive FedGNN",
+        ],
     );
     for r in rows {
         t.push_row([

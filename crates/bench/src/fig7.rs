@@ -26,28 +26,14 @@ pub fn run(args: &HarnessArgs) -> Vec<Fig7Result> {
         .into_iter()
         .map(|ds: Dataset| {
             let mcmc = mcmc_iterations_for(args.scale, &ds.name);
-            let (_, trimmed_rep) = construct_assignment(
-                &ds.graph,
-                true,
-                mcmc,
-                SecurityMode::CostModel,
-                args.seed,
-            );
-            let (_, full_rep) = construct_assignment(
-                &ds.graph,
-                false,
-                0,
-                SecurityMode::CostModel,
-                args.seed,
-            );
+            let (_, trimmed_rep) =
+                construct_assignment(&ds.graph, true, mcmc, SecurityMode::CostModel, args.seed);
+            let (_, full_rep) =
+                construct_assignment(&ds.graph, false, 0, SecurityMode::CostModel, args.seed);
             Fig7Result {
                 dataset: ds.name,
-                trimmed: Ecdf::new(
-                    trimmed_rep.workloads.iter().map(|&w| w as f64).collect(),
-                ),
-                untrimmed: Ecdf::new(
-                    full_rep.workloads.iter().map(|&w| w as f64).collect(),
-                ),
+                trimmed: Ecdf::new(trimmed_rep.workloads.iter().map(|&w| w as f64).collect()),
+                untrimmed: Ecdf::new(full_rep.workloads.iter().map(|&w| w as f64).collect()),
             }
         })
         .collect()
@@ -58,7 +44,16 @@ pub fn run(args: &HarnessArgs) -> Vec<Fig7Result> {
 pub fn table(results: &[Fig7Result]) -> Table {
     let mut t = Table::new(
         "Figure 7: workload CDF with/without tree trimming",
-        &["dataset", "series", "max", "P(w≤5)", "P(w≤10)", "P(w≤20)", "P(w≤40)", "P(w≤80)"],
+        &[
+            "dataset",
+            "series",
+            "max",
+            "P(w≤5)",
+            "P(w≤10)",
+            "P(w≤20)",
+            "P(w≤40)",
+            "P(w≤80)",
+        ],
     );
     for r in results {
         for (name, e) in [("Lumos", &r.trimmed), ("Lumos w.o. TT", &r.untrimmed)] {

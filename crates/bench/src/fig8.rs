@@ -74,10 +74,17 @@ pub fn table(rows: &[Fig8Row]) -> Table {
     let mut t = Table::new(
         "Figure 8: system cost with (Lumos) vs without (w.o. TT) trimming",
         &[
-            "dataset", "task",
-            "msgs/dev/epoch", "msgs w.o. TT", "saved %",
-            "epoch secs", "epoch secs w.o. TT", "saved %",
-            "makespan", "makespan w.o. TT", "saved %",
+            "dataset",
+            "task",
+            "msgs/dev/epoch",
+            "msgs w.o. TT",
+            "saved %",
+            "epoch secs",
+            "epoch secs w.o. TT",
+            "saved %",
+            "makespan",
+            "makespan w.o. TT",
+            "saved %",
         ],
     );
     let pct = |a: f64, b: f64| {

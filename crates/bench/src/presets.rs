@@ -43,12 +43,11 @@ pub fn run_pair<A: Send, B: Send>(
     f: impl FnOnce() -> A + Send,
     g: impl FnOnce() -> B + Send,
 ) -> (A, B) {
-    crossbeam::thread::scope(|s| {
-        let ha = s.spawn(|_| f());
+    std::thread::scope(|s| {
+        let ha = s.spawn(f);
         let b = g();
         (ha.join().expect("parallel task panicked"), b)
     })
-    .expect("crossbeam scope")
 }
 
 #[cfg(test)]

@@ -17,8 +17,18 @@ pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table (§VIII-A): datasets — generated vs paper",
         &[
-            "dataset", "vertices", "edges", "features", "classes", "avg deg", "max deg",
-            "homophily", "paper V", "paper E", "paper d", "paper L",
+            "dataset",
+            "vertices",
+            "edges",
+            "features",
+            "classes",
+            "avg deg",
+            "max deg",
+            "homophily",
+            "paper V",
+            "paper E",
+            "paper d",
+            "paper L",
         ],
     );
     for ds in datasets(scale) {

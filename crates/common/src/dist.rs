@@ -138,9 +138,7 @@ impl Categorical {
     /// Draws one category index.
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> usize {
         let u = rng.next_f64();
-        self.cdf
-            .partition_point(|&c| c < u)
-            .min(self.cdf.len() - 1)
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
     /// Number of categories.
@@ -223,7 +221,11 @@ mod tests {
         let d = PowerLaw::new(1, 100, 2.0);
         let n = 200_000;
         let emp: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
-        assert!((emp - d.mean()).abs() < 0.05, "emp {emp} vs analytic {}", d.mean());
+        assert!(
+            (emp - d.mean()).abs() < 0.05,
+            "emp {emp} vs analytic {}",
+            d.mean()
+        );
     }
 
     #[test]

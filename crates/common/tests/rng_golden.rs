@@ -1,0 +1,95 @@
+//! Golden-value determinism tests for the workspace PRNGs.
+//!
+//! Every stochastic component (graph generation, LDP coins, MCMC proposals,
+//! weight init) draws from these generators, so CI failures anywhere in the
+//! workspace reproduce exactly from a seed only if these streams never
+//! change. The expected outputs below were computed with an independent
+//! reference implementation of SplitMix64 / xoshiro256++ (the SplitMix64
+//! seed-0 values also match the published test vector of Vigna's
+//! `splitmix64.c`). If one of these tests ever fails, the generator
+//! changed — that is a breaking change for experiment reproducibility, not
+//! a tolerance issue.
+
+use lumos_common::rng::{SplitMix64, Xoshiro256pp};
+
+#[test]
+fn splitmix64_matches_reference_vector() {
+    let mut sm = SplitMix64::new(0);
+    assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+}
+
+#[test]
+fn xoshiro_matches_reference_stream_seed_42() {
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    let expected: [u64; 8] = [
+        0xD076_4D4F_4476_689F,
+        0x519E_4174_576F_3791,
+        0xFBE0_7CFB_0C24_ED8C,
+        0xB37D_9F60_0CD8_35B8,
+        0xCB23_1C38_7484_6A73,
+        0x968D_9F00_4E50_DE7D,
+        0x2017_18FF_221A_3556,
+        0x9AE9_4E07_0ED8_CB46,
+    ];
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(rng.next_u64(), want, "draw {i} diverged from golden stream");
+    }
+}
+
+#[test]
+fn xoshiro_matches_reference_stream_seed_deadbeef() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xDEAD_BEEF);
+    let expected: [u64; 4] = [
+        0x0C52_0EB8_FEA9_8EDE,
+        0x2B74_A633_8B80_E0E2,
+        0xBE23_8770_C379_5322,
+        0x5F23_5F98_A244_EA97,
+    ];
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(rng.next_u64(), want, "draw {i} diverged from golden stream");
+    }
+}
+
+#[test]
+fn same_seed_same_stream_across_instances() {
+    let mut a = Xoshiro256pp::seed_from_u64(7_654_321);
+    let mut b = Xoshiro256pp::seed_from_u64(7_654_321);
+    for _ in 0..10_000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+    // The float/bounded views are pure functions of the same stream.
+    let mut c = Xoshiro256pp::seed_from_u64(7_654_321);
+    let mut d = Xoshiro256pp::seed_from_u64(7_654_321);
+    for _ in 0..1_000 {
+        assert_eq!(c.next_f64().to_bits(), d.next_f64().to_bits());
+        assert_eq!(c.next_below(1_000_003), d.next_below(1_000_003));
+    }
+}
+
+#[test]
+fn forked_children_are_deterministic_and_distinct() {
+    let mut parent_a = Xoshiro256pp::seed_from_u64(99);
+    let mut parent_b = Xoshiro256pp::seed_from_u64(99);
+    let mut child_a = parent_a.fork();
+    let mut child_b = parent_b.fork();
+    for _ in 0..1_000 {
+        assert_eq!(child_a.next_u64(), child_b.next_u64());
+    }
+    // The child stream must not mirror the parent stream.
+    let mut parent = Xoshiro256pp::seed_from_u64(99);
+    let mut child = parent.fork();
+    let parent_next = parent.next_u64();
+    let child_next = child.next_u64();
+    assert_ne!(parent_next, child_next);
+}
+
+#[test]
+fn clone_detaches_state() {
+    let mut original = Xoshiro256pp::seed_from_u64(5);
+    let mut snapshot = original.clone();
+    let first_run: Vec<u64> = (0..16).map(|_| original.next_u64()).collect();
+    let second_run: Vec<u64> = (0..16).map(|_| snapshot.next_u64()).collect();
+    assert_eq!(first_run, second_run, "a clone must replay the same stream");
+}

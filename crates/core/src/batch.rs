@@ -157,13 +157,7 @@ mod tests {
         // neighbor leaf in tree 1 → plus center copies: tree0 wl=1 → one
         // center copy. Total for 0: 1 + 1 = 2. Vertex 1: center copies 2 +
         // neighbor leaves in trees 0, 2 → 4.
-        let count = |v: u32| {
-            batch
-                .pool_vertices
-                .iter()
-                .filter(|&&x| x == v)
-                .count()
-        };
+        let count = |v: u32| batch.pool_vertices.iter().filter(|&&x| x == v).count();
         assert_eq!(count(0), 2);
         assert_eq!(count(1), 4);
         assert_eq!(count(2), 2);

@@ -2,9 +2,7 @@
 //! followed by MCMC trimming, or the untrimmed full assignment for the
 //! "w.o. TT" ablation.
 
-use lumos_balance::{
-    greedy_init, make_oracle, mcmc_balance, Assignment, McmcConfig, SecurityMode,
-};
+use lumos_balance::{greedy_init, make_oracle, mcmc_balance, Assignment, McmcConfig, SecurityMode};
 use lumos_common::timer::Stopwatch;
 use lumos_graph::Graph;
 
@@ -76,10 +74,8 @@ mod tests {
     #[test]
     fn trimming_cuts_the_maximum_workload() {
         let g = graph();
-        let (trimmed, rep) =
-            construct_assignment(&g, true, 150, SecurityMode::CostModel, 3);
-        let (full, rep_full) =
-            construct_assignment(&g, false, 150, SecurityMode::CostModel, 3);
+        let (trimmed, rep) = construct_assignment(&g, true, 150, SecurityMode::CostModel, 3);
+        let (full, rep_full) = construct_assignment(&g, false, 150, SecurityMode::CostModel, 3);
         trimmed.check_feasible(&g).unwrap();
         full.check_feasible(&g).unwrap();
         assert_eq!(rep_full.max_workload, g.max_degree());

@@ -167,7 +167,11 @@ mod tests {
 
     #[test]
     fn isolated_devices_are_silent() {
-        let trees = vec![DeviceTree::build(LocalGraphKind::VirtualNodeTree, 0, vec![])];
+        let trees = vec![DeviceTree::build(
+            LocalGraphKind::VirtualNodeTree,
+            0,
+            vec![],
+        )];
         let features = vec![0.3f32; 8];
         let mut net = SimNetwork::new(1);
         let ex = exchange_features(&features, 8, &trees, 1.0, &mut rng(), &mut net);

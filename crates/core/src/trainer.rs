@@ -102,12 +102,7 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     };
     let mut opt = Adam::new(cfg.lr);
 
-    let mut report = RunReport::new(
-        "lumos",
-        &ds.name,
-        cfg.backbone.name(),
-        cfg.task.name(),
-    );
+    let mut report = RunReport::new("lumos", &ds.name, cfg.backbone.name(), cfg.task.name());
     report.constructor = constructor;
     report.init_messages = init_messages;
 
@@ -133,9 +128,7 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     for epoch in 0..cfg.epochs {
         runtime.begin_epoch();
         let mut tape = Tape::new();
-        let h = forward_pooled(
-            &mut tape, &store, &encoder, &batch, true, &mut rng,
-        );
+        let h = forward_pooled(&mut tape, &store, &encoder, &batch, true, &mut rng);
 
         let loss_var: VarId = match cfg.task {
             TaskKind::Supervised => {
@@ -176,8 +169,16 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         // Periodic validation.
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
             let val = evaluate(
-                &store, &encoder, decoder.as_ref(), &batch, ds, cfg,
-                node_split.as_ref(), edge_split.as_ref(), false, &mut rng,
+                &store,
+                &encoder,
+                decoder.as_ref(),
+                &batch,
+                ds,
+                cfg,
+                node_split.as_ref(),
+                edge_split.as_ref(),
+                false,
+                &mut rng,
             );
             best_val = best_val.max(val);
             report.history.push(EpochMetrics {
@@ -190,8 +191,16 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
 
     // Phase 5: test metric.
     report.test_metric = evaluate(
-        &store, &encoder, decoder.as_ref(), &batch, ds, cfg,
-        node_split.as_ref(), edge_split.as_ref(), true, &mut rng,
+        &store,
+        &encoder,
+        decoder.as_ref(),
+        &batch,
+        ds,
+        cfg,
+        node_split.as_ref(),
+        edge_split.as_ref(),
+        true,
+        &mut rng,
     );
     report.best_val_metric = best_val;
     report.avg_messages_per_device_per_epoch = runtime.avg_messages_per_device_per_epoch();
@@ -236,7 +245,11 @@ fn evaluate(
     match cfg.task {
         TaskKind::Supervised => {
             let split = node_split.expect("supervised split");
-            let mask = if test { &split.test_mask } else { &split.val_mask };
+            let mask = if test {
+                &split.test_mask
+            } else {
+                &split.val_mask
+            };
             let dec = decoder.expect("supervised head");
             let logits = dec.forward(&mut tape, store, h);
             accuracy_masked(tape.value(logits), &ds.labels, mask)
@@ -376,8 +389,7 @@ mod tests {
                 .without_tree_trimming(),
         );
         assert!(
-            trimmed.avg_messages_per_device_per_epoch
-                < untrimmed.avg_messages_per_device_per_epoch,
+            trimmed.avg_messages_per_device_per_epoch < untrimmed.avg_messages_per_device_per_epoch,
             "trimming must cut communication: {} vs {}",
             trimmed.avg_messages_per_device_per_epoch,
             untrimmed.avg_messages_per_device_per_epoch

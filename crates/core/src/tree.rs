@@ -207,6 +207,7 @@ mod tests {
         assert_eq!(lv[1], None); // P1
         assert_eq!(lv[2], Some(1)); // center copy
         assert_eq!(lv[3], Some(2)); // neighbor 2
+
         // Center is replicated |N(v)| times.
         let center_copies = lv.iter().filter(|v| **v == Some(1)).count();
         assert_eq!(center_copies, 4);

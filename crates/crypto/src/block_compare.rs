@@ -90,9 +90,8 @@ pub fn secure_compare_blocks(
                 (gt as u64) | ((eq as u64) << 1)
             })
             .collect();
-        let received = ctx.with_ot(|dealer, meter| {
-            ot_transfer_1_of_n(&messages, a_blk as usize, dealer, meter)
-        });
+        let received = ctx
+            .with_ot(|dealer, meter| ot_transfer_1_of_n(&messages, a_blk as usize, dealer, meter));
         let a_gt = received & 1 == 1;
         let a_eq = (received >> 1) & 1 == 1;
         level.push((
@@ -148,7 +147,14 @@ mod tests {
     #[test]
     fn block_compare_matches_plain_for_all_radixes() {
         for radix in [1u32, 2, 4, 8] {
-            for (a, b) in [(0u64, 0u64), (5, 9), (9, 5), (255, 255), (200, 199), (1, 256)] {
+            for (a, b) in [
+                (0u64, 0u64),
+                (5, 9),
+                (9, 5),
+                (255, 255),
+                (200, 199),
+                (1, 256),
+            ] {
                 let mut ctx = TwoParty::new(a * 131 + b + radix as u64);
                 let out = secure_compare_blocks(&mut ctx, a, b, 12, radix);
                 assert_eq!(out.ordering(), a.cmp(&b), "radix={radix} a={a} b={b}");

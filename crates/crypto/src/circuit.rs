@@ -168,10 +168,7 @@ impl TwoParty {
 
     /// Grants a protocol building block access to the dealer and the meter
     /// (e.g. for 1-of-N OT leaves).
-    pub(crate) fn with_ot<T>(
-        &mut self,
-        f: impl FnOnce(&mut OtDealer, &mut CommMeter) -> T,
-    ) -> T {
+    pub(crate) fn with_ot<T>(&mut self, f: impl FnOnce(&mut OtDealer, &mut CommMeter) -> T) -> T {
         f(&mut self.dealer, &mut self.meter)
     }
 

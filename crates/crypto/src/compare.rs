@@ -45,12 +45,7 @@ impl CompareOutcome {
 ///
 /// # Panics
 /// Panics if `bits` is 0 or exceeds 64, or if either value does not fit.
-pub fn secure_compare(
-    ctx: &mut TwoParty,
-    a_value: u64,
-    b_value: u64,
-    bits: u32,
-) -> CompareOutcome {
+pub fn secure_compare(ctx: &mut TwoParty, a_value: u64, b_value: u64, bits: u32) -> CompareOutcome {
     assert!((1..=64).contains(&bits), "bits must be in 1..=64");
     if bits < 64 {
         assert!(a_value < (1 << bits), "a_value does not fit in {bits} bits");

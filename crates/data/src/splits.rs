@@ -29,7 +29,10 @@ impl NodeSplit {
     /// # Panics
     /// Panics if the fractions are out of range.
     pub fn with_ratios(n: usize, train: f64, val: f64, rng: &mut Xoshiro256pp) -> Self {
-        assert!(train >= 0.0 && val >= 0.0 && train + val <= 1.0, "bad ratios");
+        assert!(
+            train >= 0.0 && val >= 0.0 && train + val <= 1.0,
+            "bad ratios"
+        );
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
         let n_train = (n as f64 * train).round() as usize;
@@ -93,7 +96,10 @@ impl EdgeSplit {
 
     /// Split with explicit train/val fractions (test is the rest).
     pub fn with_ratios(g: &Graph, train: f64, val: f64, rng: &mut Xoshiro256pp) -> Self {
-        assert!(train >= 0.0 && val >= 0.0 && train + val <= 1.0, "bad ratios");
+        assert!(
+            train >= 0.0 && val >= 0.0 && train + val <= 1.0,
+            "bad ratios"
+        );
         let mut edges: Vec<(u32, u32)> = g.edges().collect();
         rng.shuffle(&mut edges);
         let m = edges.len();
@@ -159,8 +165,7 @@ mod tests {
         let mut r = rng();
         let s = NodeSplit::uniform(1000, &mut r);
         for v in 0..1000 {
-            let memberships =
-                s.train_mask[v] as u8 + s.val_mask[v] as u8 + s.test_mask[v] as u8;
+            let memberships = s.train_mask[v] as u8 + s.val_mask[v] as u8 + s.test_mask[v] as u8;
             assert_eq!(memberships, 1, "vertex {v} must be in exactly one split");
         }
         assert_eq!(s.num_train(), 500);

@@ -50,12 +50,7 @@ impl LinearDecoder {
 /// Pairwise link logits: `z_(u,v) = h_u · h_v` (the decoder of Eq. 4 /
 /// Eq. 33). Returns a `[P, 1]` column of dot products for pairs
 /// `(src[i], dst[i])`.
-pub fn link_logits(
-    tape: &mut Tape,
-    h: VarId,
-    src: Rc<Vec<u32>>,
-    dst: Rc<Vec<u32>>,
-) -> VarId {
+pub fn link_logits(tape: &mut Tape, h: VarId, src: Rc<Vec<u32>>, dst: Rc<Vec<u32>>) -> VarId {
     assert_eq!(src.len(), dst.len(), "pair endpoint lists must align");
     let d = tape.value(h).cols();
     let hu = tape.gather_rows(h, src);
@@ -89,17 +84,8 @@ mod tests {
     #[test]
     fn link_logits_are_dot_products() {
         let mut tape = Tape::new();
-        let h = tape.constant(Tensor::from_vec(
-            3,
-            2,
-            vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.5],
-        ));
-        let z = link_logits(
-            &mut tape,
-            h,
-            Rc::new(vec![0, 1, 2]),
-            Rc::new(vec![1, 2, 0]),
-        );
+        let h = tape.constant(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.5]));
+        let z = link_logits(&mut tape, h, Rc::new(vec![0, 1, 2]), Rc::new(vec![1, 2, 0]));
         let v = tape.value(z);
         assert_eq!(v.dims(), (3, 1));
         assert!((v.at(0, 0) - (1.0 * 3.0 + 2.0 * 4.0)).abs() < 1e-6);

@@ -101,8 +101,7 @@ impl GnnEncoder {
                     } else {
                         (cfg.hidden_dim, true)
                     };
-                    let layer =
-                        GatLayer::new(store, &name, dim, head_dim, cfg.heads, concat, rng);
+                    let layer = GatLayer::new(store, &name, dim, head_dim, cfg.heads, concat, rng);
                     dim = layer.out_dim();
                     layers.push(Layer::Gat(layer));
                 }
@@ -220,10 +219,7 @@ mod tests {
         let _ = GnnEncoder::new(&mut store, &cfg, &mut r);
         // Two GCN layers: W + b each.
         assert_eq!(store.len(), 4);
-        assert_eq!(
-            store.num_scalars(),
-            10 * 16 + 16 + 16 * 16 + 16
-        );
+        assert_eq!(store.num_scalars(), 10 * 16 + 16 + 16 * 16 + 16);
         let mut store2 = ParamStore::new();
         let cfg2 = EncoderConfig::paper(Backbone::Gat, 10);
         let _ = GnnEncoder::new(&mut store2, &cfg2, &mut r);

@@ -24,7 +24,10 @@ impl GcnLayer {
         out_dim: usize,
         rng: &mut Xoshiro256pp,
     ) -> Self {
-        let w = store.add(format!("{name}.weight"), Tensor::glorot(in_dim, out_dim, rng));
+        let w = store.add(
+            format!("{name}.weight"),
+            Tensor::glorot(in_dim, out_dim, rng),
+        );
         let b = store.add(format!("{name}.bias"), Tensor::zeros(1, out_dim));
         Self {
             w,
@@ -116,7 +119,11 @@ impl GatLayer {
                 ),
             })
             .collect();
-        let out_dim = if concat { num_heads * head_dim } else { head_dim };
+        let out_dim = if concat {
+            num_heads * head_dim
+        } else {
+            head_dim
+        };
         let bias = store.add(format!("{name}.bias"), Tensor::zeros(1, out_dim));
         Self {
             heads,
@@ -345,11 +352,7 @@ mod tests {
         let layer = GatLayer::new(&mut store, "gat", 3, 2, 1, true, &mut r);
         let mg = tiny_graph();
         let mut tape = Tape::new();
-        let x = tape.constant(Tensor::from_vec(
-            4,
-            3,
-            vec![0.5; 12],
-        ));
+        let x = tape.constant(Tensor::from_vec(4, 3, vec![0.5; 12]));
         let y = layer.forward(&mut tape, &store, x, &mg);
         // All rows identical (same neighborhood value distribution).
         let v = tape.value(y);

@@ -21,6 +21,6 @@ pub use adj::MessageGraph;
 pub use decoder::{link_logits, LinearDecoder};
 pub use encoder::{Backbone, EncoderConfig, GnnEncoder};
 pub use layers::{GatLayer, GcnLayer, Layer};
-pub use sage::SageLayer;
 pub use loss::{cross_entropy_masked, link_prediction_loss};
 pub use metrics::{accuracy_masked, roc_auc};
+pub use sage::SageLayer;

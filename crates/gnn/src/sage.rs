@@ -149,7 +149,10 @@ mod tests {
         let x = tape.constant(Tensor::from_vec(3, 1, vec![10.0, 2.0, 4.0]));
         let y = layer.forward(&mut tape, &store, x, &mg);
         assert!((tape.value(y).at(0, 0) - 3.0).abs() < 1e-6, "mean(2,4) = 3");
-        assert!((tape.value(y).at(1, 0) - 10.0).abs() < 1e-6, "mean(10) = 10");
+        assert!(
+            (tape.value(y).at(1, 0) - 10.0).abs() < 1e-6,
+            "mean(10) = 10"
+        );
     }
 
     #[test]

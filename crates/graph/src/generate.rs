@@ -96,11 +96,7 @@ impl Default for PowerLawConfig {
 ///
 /// # Panics
 /// Panics if `labels` is empty or the config is degenerate.
-pub fn homophilous_powerlaw(
-    labels: &[u32],
-    cfg: &PowerLawConfig,
-    rng: &mut Xoshiro256pp,
-) -> Graph {
+pub fn homophilous_powerlaw(labels: &[u32], cfg: &PowerLawConfig, rng: &mut Xoshiro256pp) -> Graph {
     let n = labels.len();
     assert!(n >= 2, "need at least two vertices");
     assert!(
@@ -208,7 +204,9 @@ mod tests {
     fn homophilous_powerlaw_has_heavy_tail_and_homophily() {
         let mut r = rng();
         let num_classes = 4u32;
-        let labels: Vec<u32> = (0..3000).map(|_| r.next_below(num_classes as u64) as u32).collect();
+        let labels: Vec<u32> = (0..3000)
+            .map(|_| r.next_below(num_classes as u64) as u32)
+            .collect();
         let cfg = PowerLawConfig {
             alpha: 2.3,
             min_degree: 3,

@@ -50,7 +50,10 @@ impl Graph {
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
         let n = self.adj.len() as u32;
-        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+        assert!(
+            u < n && v < n,
+            "edge ({u},{v}) out of range for {n} vertices"
+        );
         if u == v {
             return false;
         }
@@ -108,7 +111,9 @@ impl Graph {
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, nb)| {
             let u = u as u32;
-            nb.iter().copied().filter_map(move |v| (u < v).then_some((u, v)))
+            nb.iter()
+                .copied()
+                .filter_map(move |v| (u < v).then_some((u, v)))
         })
     }
 

@@ -10,5 +10,7 @@ pub mod generate;
 pub mod graph;
 
 pub use ego::{split_into_egos, EgoNetwork};
-pub use generate::{barabasi_albert, edge_homophily, erdos_renyi, homophilous_powerlaw, PowerLawConfig};
+pub use generate::{
+    barabasi_albert, edge_homophily, erdos_renyi, homophilous_powerlaw, PowerLawConfig,
+};
 pub use graph::Graph;

@@ -83,7 +83,10 @@ impl GaussianMechanism {
     /// Calibrates σ for (ε, δ)-DP with L2 sensitivity `delta_f`:
     /// `σ = sqrt(2 ln(1.25/δ)) · Δf / ε` (Dwork & Roth, the paper's [45]).
     pub fn calibrated(epsilon: f64, delta: f64, delta_f: f64) -> Self {
-        assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0, "bad (eps, delta)");
+        assert!(
+            epsilon > 0.0 && delta > 0.0 && delta < 1.0,
+            "bad (eps, delta)"
+        );
         Self::with_sigma((2.0 * (1.25 / delta).ln()).sqrt() * delta_f / epsilon)
     }
 
@@ -118,7 +121,10 @@ impl RandomizedResponse {
     /// Panics if `k < 2` or ε is not positive.
     pub fn new(epsilon: f64, k: usize) -> Self {
         assert!(k >= 2, "randomized response needs k >= 2");
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         let e = epsilon.exp();
         Self {
             keep_prob: e / (e + (k as f64) - 1.0),
@@ -191,11 +197,7 @@ mod tests {
         let x = vec![0.3f32; 50_000];
         let y = g.privatize(&x, &mut r);
         let mean: f64 = y.iter().map(|&v| v as f64).sum::<f64>() / y.len() as f64;
-        let var: f64 = y
-            .iter()
-            .map(|&v| (v as f64 - mean).powi(2))
-            .sum::<f64>()
-            / y.len() as f64;
+        let var: f64 = y.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / y.len() as f64;
         assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }

@@ -83,13 +83,12 @@ impl FeatureEncoder {
         assert_eq!(feature.len(), self.dim, "feature dimension mismatch");
         // Random bin per dimension.
         let bins: Vec<usize> = (0..self.dim).map(|_| rng.index(self.workload)).collect();
-        let mut messages =
-            vec![
-                EncodedFeature {
-                    values: vec![EncodedValue::Missing; self.dim]
-                };
-                self.workload
-            ];
+        let mut messages = vec![
+            EncodedFeature {
+                values: vec![EncodedValue::Missing; self.dim]
+            };
+            self.workload
+        ];
         for (i, (&x, &bin)) in feature.iter().zip(&bins).enumerate() {
             messages[bin].values[i] = self.mechanism.encode(x as f64, rng);
         }
@@ -137,10 +136,7 @@ impl FeatureEncoder {
             self.range().0,
             self.range().1,
         );
-        msg.values
-            .iter()
-            .map(|&v| mech.decode(v) as f32)
-            .collect()
+        msg.values.iter().map(|&v| mech.decode(v) as f32).collect()
     }
 
     fn range(&self) -> (f64, f64) {

@@ -145,10 +145,7 @@ mod tests {
         let mut r = rng();
         for &x in &[0.0, 0.2, 0.5, 0.77, 1.0] {
             let n = 200_000;
-            let mean: f64 = (0..n)
-                .map(|_| m.decode(m.encode(x, &mut r)))
-                .sum::<f64>()
-                / n as f64;
+            let mean: f64 = (0..n).map(|_| m.decode(m.encode(x, &mut r))).sum::<f64>() / n as f64;
             assert!((mean - x).abs() < 0.02, "x={x}: mean {mean}");
         }
     }

@@ -37,7 +37,10 @@ pub fn scatter_add_rows(x: &Tensor, idx: &[u32], out_rows: usize) -> Tensor {
     let mut out = Tensor::zeros(out_rows, d);
     for (i, &j) in idx.iter().enumerate() {
         let j = j as usize;
-        assert!(j < out_rows, "scatter index {j} out of bounds for {out_rows} rows");
+        assert!(
+            j < out_rows,
+            "scatter index {j} out of bounds for {out_rows} rows"
+        );
         for (o, &v) in out.row_mut(j).iter_mut().zip(x.row(i)) {
             *o += v;
         }

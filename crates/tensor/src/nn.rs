@@ -10,7 +10,10 @@ use lumos_common::rng::Xoshiro256pp;
 /// # Panics
 /// Panics unless `0 <= p < 1`.
 pub fn dropout_mask(len: usize, p: f32, rng: &mut Xoshiro256pp) -> Rc<Vec<f32>> {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0,1)"
+    );
     if p == 0.0 {
         return Rc::new(vec![1.0; len]);
     }

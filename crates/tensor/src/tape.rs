@@ -69,7 +69,10 @@ enum Op {
         mask: Rc<Vec<f32>>,
     },
     /// Mean binary cross-entropy on logits against fixed targets.
-    BceWithLogitsMean { logits: VarId, targets: Rc<Vec<f32>> },
+    BceWithLogitsMean {
+        logits: VarId,
+        targets: Rc<Vec<f32>>,
+    },
 }
 
 #[derive(Debug)]
@@ -201,7 +204,9 @@ impl Tape {
 
     /// Leaky ReLU activation.
     pub fn leaky_relu(&mut self, a: VarId, slope: f32) -> VarId {
-        let v = self.nodes[a].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.nodes[a]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
         self.push(Op::LeakyRelu(a, slope), v)
     }
 
@@ -294,7 +299,14 @@ impl Tape {
             total -= mask[i] * val.at(i, t);
         }
         let v = Tensor::scalar(total / denom);
-        self.push(Op::NllMasked { logp, targets, mask }, v)
+        self.push(
+            Op::NllMasked {
+                logp,
+                targets,
+                mask,
+            },
+            v,
+        )
     }
 
     /// Mean binary cross-entropy with logits:
@@ -453,7 +465,11 @@ impl Tape {
                     }
                     accumulate(&mut grads, *a, &da);
                 }
-                Op::NllMasked { logp, targets, mask } => {
+                Op::NllMasked {
+                    logp,
+                    targets,
+                    mask,
+                } => {
                     let (n, c) = self.nodes[*logp].value.dims();
                     let denom: f32 = mask.iter().sum();
                     let scale = g.item() / denom;

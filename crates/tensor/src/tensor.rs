@@ -69,7 +69,13 @@ impl Tensor {
     }
 
     /// I.i.d. uniform entries in `[lo, hi)`.
-    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Xoshiro256pp) -> Self {
+    pub fn rand_uniform(
+        rows: usize,
+        cols: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut Xoshiro256pp,
+    ) -> Self {
         let data = (0..rows * cols)
             .map(|_| lo + (hi - lo) * rng.next_f32())
             .collect();
@@ -164,7 +170,11 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor is not 1×1.
     pub fn item(&self) -> f32 {
-        assert_eq!((self.rows, self.cols), (1, 1), "item() requires a 1x1 tensor");
+        assert_eq!(
+            (self.rows, self.cols),
+            (1, 1),
+            "item() requires a 1x1 tensor"
+        );
         self.data[0]
     }
 
@@ -204,7 +214,11 @@ impl Tensor {
 
     /// Elementwise combination with another tensor of identical shape.
     pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
-        assert_eq!(self.dims(), other.dims(), "shape mismatch in elementwise op");
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "shape mismatch in elementwise op"
+        );
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -359,9 +373,7 @@ impl Tensor {
 
     /// Sum over columns, producing an `[rows, 1]` column vector.
     pub fn sum_cols(&self) -> Self {
-        let data = (0..self.rows)
-            .map(|r| self.row(r).iter().sum())
-            .collect();
+        let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
         Self::from_vec(self.rows, 1, data)
     }
 
@@ -473,7 +485,11 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         let x = Tensor::randn(100, 100, 2.0, &mut rng);
         let mean = x.mean();
-        let var = x.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = x
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / x.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");

@@ -1,12 +1,12 @@
 //! Facade crate re-exporting the Lumos public API.
-pub use lumos_common as common;
-pub use lumos_tensor as tensor;
-pub use lumos_graph as graph;
-pub use lumos_data as data;
-pub use lumos_crypto as crypto;
-pub use lumos_ldp as ldp;
 pub use lumos_balance as balance;
-pub use lumos_gnn as gnn;
-pub use lumos_fed as fed;
-pub use lumos_core as core;
 pub use lumos_baselines as baselines;
+pub use lumos_common as common;
+pub use lumos_core as core;
+pub use lumos_crypto as crypto;
+pub use lumos_data as data;
+pub use lumos_fed as fed;
+pub use lumos_gnn as gnn;
+pub use lumos_graph as graph;
+pub use lumos_ldp as ldp;
+pub use lumos_tensor as tensor;

@@ -36,7 +36,11 @@ fn sage_extension_backbone_trains_end_to_end() {
     // whole federated pipeline must accept it transparently.
     let ds = Dataset::facebook_like(Scale::Smoke);
     let report = run_lumos(&ds, &lumos_cfg(Backbone::Sage, TaskKind::Supervised));
-    assert!(report.test_metric > 0.3, "SAGE accuracy {}", report.test_metric);
+    assert!(
+        report.test_metric > 0.3,
+        "SAGE accuracy {}",
+        report.test_metric
+    );
     assert_eq!(report.backbone, "SAGE");
 }
 

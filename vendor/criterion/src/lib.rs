@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the small slice of criterion's API that the `lumos-bench` targets use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (both the plain and the
+//! `name`/`config`/`targets` forms). Timing is a straightforward
+//! warmup-then-sample wall-clock measurement; it reports mean, min and max
+//! per-iteration times. Swapping back to the real criterion is a
+//! one-line `Cargo.toml` change — no bench source needs to be touched.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: collects named benchmark functions and times them.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        // Cargo invokes bench executables with `--bench`; when run as a test
+        // (`cargo test --benches`) it passes `--test`. A bare positional
+        // argument is a name filter, as with the real criterion.
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--quiet" | "-q" | "--verbose" | "--noplot"
+                | "--discard-baseline" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--color" => {
+                    let _ = args.next();
+                }
+                "--list" => list_only = true,
+                s if !s.starts_with('-') && filter.is_none() => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(600),
+            filter,
+            list_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration before samples are recorded.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time `f` and print a one-line summary, criterion-style.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if self.list_only {
+            println!("{id}: benchmark");
+            return self;
+        }
+
+        // Warm-up: run until the warm-up budget elapses, and use the
+        // observed per-iteration time to size the measurement batches.
+        let mut bencher = Bencher::new();
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.target_iters = iters_per_sample;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_time(samples[0]),
+            fmt_time(mean),
+            fmt_time(*samples.last().unwrap()),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Per-benchmark timing context handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    target_iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            target_iters: 1,
+        }
+    }
+
+    /// Time repeated calls of `routine`, keeping its output alive so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let n = self.target_iters;
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group. Supports both criterion forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark executable's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
