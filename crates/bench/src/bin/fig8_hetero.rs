@@ -1,0 +1,8 @@
+//! Scenario sweep: simulated epoch makespan across heterogeneous-device
+//! fleets, with vs without tree trimming (Figure 8 extension).
+use lumos_bench::{hetero, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    hetero::table(&hetero::run(&args)).print();
+}

@@ -12,6 +12,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod hetero;
 pub mod presets;
 pub mod table1;
 

@@ -2,6 +2,7 @@
 
 use lumos_balance::SecurityMode;
 use lumos_gnn::Backbone;
+use lumos_sim::Scenario;
 
 /// Learning task (§VIII-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +59,11 @@ pub struct LumosConfig {
     pub negatives_per_positive: usize,
     /// Evaluate on the validation split every this many epochs.
     pub eval_every: usize,
+    /// Optional heterogeneous-device scenario: when set, every epoch is
+    /// additionally priced per-device by the `lumos-sim` discrete-event
+    /// simulator and the report carries a [`crate::report::SimSummary`].
+    /// Timing overlay only — the training math is unchanged.
+    pub scenario: Option<Scenario>,
 }
 
 impl LumosConfig {
@@ -85,6 +91,7 @@ impl LumosConfig {
             tree_trimming: true,
             negatives_per_positive: 1,
             eval_every: 10,
+            scenario: None,
         }
     }
 
@@ -123,6 +130,12 @@ impl LumosConfig {
         self.mcmc_iterations = iters;
         self
     }
+
+    /// Builder-style: enable a heterogeneous-device scenario.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -146,12 +159,20 @@ mod tests {
             .with_epochs(10)
             .with_seed(9)
             .with_mcmc_iterations(50)
+            .with_scenario(Scenario::StragglerTail)
             .without_virtual_nodes()
             .without_tree_trimming();
         assert_eq!(c.epsilon, 0.5);
         assert_eq!(c.epochs, 10);
         assert_eq!(c.seed, 9);
         assert_eq!(c.mcmc_iterations, 50);
+        assert_eq!(c.scenario, Some(Scenario::StragglerTail));
         assert!(!c.virtual_nodes && !c.tree_trimming);
+    }
+
+    #[test]
+    fn scenario_defaults_to_off() {
+        let c = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised);
+        assert_eq!(c.scenario, None);
     }
 }

@@ -37,6 +37,6 @@ pub use batch::{build_batched, BatchedTrees};
 pub use config::{LumosConfig, TaskKind};
 pub use constructor::construct_assignment;
 pub use init::{exchange_features, LdpExchange};
-pub use report::{ConstructorReport, EpochMetrics, RunReport};
+pub use report::{ConstructorReport, EpochMetrics, RunReport, SimSummary};
 pub use trainer::run_lumos;
 pub use tree::{DeviceTree, LocalGraphKind, TreeNode};

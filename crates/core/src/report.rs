@@ -37,6 +37,41 @@ pub struct ConstructorReport {
     pub mcmc_trace: Vec<usize>,
 }
 
+/// Summary of a run's heterogeneous-device simulation (present when the
+/// config set a `lumos_sim::Scenario`).
+///
+/// All times are *virtual* seconds from the discrete-event simulator —
+/// deterministic under the run seed, unlike the measured wall-clock fields.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimSummary {
+    /// Scenario name ("uniform", "mobile-fleet", "straggler-tail", "churn").
+    pub scenario: String,
+    /// Total simulated seconds across all training epochs.
+    pub total_virtual_secs: f64,
+    /// Mean simulated seconds per epoch (the scenario-sweep makespan).
+    pub avg_epoch_virtual_secs: f64,
+    /// Per-epoch straggler identity, in epoch order.
+    pub straggler_sequence: Vec<u32>,
+    /// Mean fraction of each epoch active devices spent busy.
+    pub mean_utilization: f64,
+    /// Device-rounds lost to churn (0 for churn-free scenarios).
+    pub dropped_device_rounds: u64,
+}
+
+impl SimSummary {
+    /// The device that straggled most often, with its epoch count.
+    pub fn dominant_straggler(&self) -> Option<(u32, usize)> {
+        let mut counts = std::collections::HashMap::new();
+        for &d in &self.straggler_sequence {
+            *counts.entry(d).or_insert(0usize) += 1;
+        }
+        // Deterministic tie-break: highest count, then lowest device id.
+        counts
+            .into_iter()
+            .max_by_key(|&(d, c)| (c, std::cmp::Reverse(d)))
+    }
+}
+
 /// Full report of a Lumos (or baseline) run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -64,6 +99,8 @@ pub struct RunReport {
     pub constructor: ConstructorReport,
     /// One-off feature-exchange messages (LDP initialization phase).
     pub init_messages: u64,
+    /// Heterogeneous-device simulation summary (None without a scenario).
+    pub sim: Option<SimSummary>,
 }
 
 impl RunReport {
@@ -82,6 +119,7 @@ impl RunReport {
             avg_epoch_makespan: 0.0,
             constructor: ConstructorReport::default(),
             init_messages: 0,
+            sim: None,
         }
     }
 
@@ -111,5 +149,17 @@ mod tests {
         });
         assert_eq!(r.final_loss(), 0.7);
         assert_eq!(r.system, "lumos");
+        assert!(r.sim.is_none());
+    }
+
+    #[test]
+    fn dominant_straggler_breaks_ties_deterministically() {
+        let s = SimSummary {
+            straggler_sequence: vec![4, 2, 4, 2, 9],
+            ..SimSummary::default()
+        };
+        // Devices 2 and 4 tie on count; the lower id wins.
+        assert_eq!(s.dominant_straggler(), Some((2, 2)));
+        assert_eq!(SimSummary::default().dominant_straggler(), None);
     }
 }

@@ -18,11 +18,13 @@ use lumos_gnn::{
 use lumos_graph::Graph;
 use lumos_tensor::{Adam, ParamStore, Tape, VarId};
 
+use lumos_sim::ScenarioState;
+
 use crate::batch::{build_batched, BatchedTrees};
 use crate::config::{LumosConfig, TaskKind};
 use crate::constructor::construct_assignment;
 use crate::init::exchange_features;
-use crate::report::{EpochMetrics, RunReport};
+use crate::report::{EpochMetrics, RunReport, SimSummary};
 use crate::tree::{DeviceTree, LocalGraphKind};
 
 /// Paired endpoint lists of positive training edges.
@@ -75,6 +77,10 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
 
     // Phase 2: LDP embedding initialization (§VI-A).
     let mut runtime = Runtime::new(n, CostModel::default());
+    // Optional heterogeneous-device overlay: the fleet draws from its own
+    // seed-derived RNG stream, so enabling a scenario changes timing
+    // statistics only — never the training math.
+    let mut scenario = cfg.scenario.map(|s| ScenarioState::new(s, n, cfg.seed));
     let exchange = exchange_features(
         &ds.features,
         ds.feature_dim,
@@ -126,6 +132,9 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     // Phase 4: synchronized training epochs.
     let mut best_val = 0.0f64;
     for epoch in 0..cfg.epochs {
+        if let Some(state) = &scenario {
+            runtime.set_profiles(state.profiles().to_vec());
+        }
         runtime.begin_epoch();
         let mut tape = Tape::new();
         let h = forward_pooled(&mut tape, &store, &encoder, &batch, true, &mut rng);
@@ -165,6 +174,13 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         // Protocol message accounting for this epoch (§VI-B/C).
         record_epoch_messages(&trees, cfg, &mut runtime, edge_split.as_ref());
         runtime.end_epoch(&batch.tree_sizes, encoder.num_layers());
+        // Churn applies *between* rounds: the fleet after the last epoch is
+        // never simulated, so advancing there would overcount drops.
+        if epoch + 1 < cfg.epochs {
+            if let Some(state) = &mut scenario {
+                state.advance_round();
+            }
+        }
 
         // Periodic validation.
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
@@ -206,6 +222,16 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     report.avg_messages_per_device_per_epoch = runtime.avg_messages_per_device_per_epoch();
     report.avg_epoch_secs = runtime.avg_epoch_wall_secs();
     report.avg_epoch_makespan = runtime.avg_epoch_makespan();
+    if let Some(state) = &scenario {
+        report.sim = Some(SimSummary {
+            scenario: state.scenario().name().to_string(),
+            total_virtual_secs: runtime.total_sim_secs(),
+            avg_epoch_virtual_secs: runtime.avg_sim_epoch_secs(),
+            straggler_sequence: runtime.straggler_sequence(),
+            mean_utilization: runtime.mean_sim_utilization(),
+            dropped_device_rounds: state.dropped_device_rounds(),
+        });
+    }
     report
 }
 
@@ -406,6 +432,64 @@ mod tests {
             .without_virtual_nodes();
         let report = run_lumos(&ds, &cfg);
         assert!(report.test_metric > 0.0);
+    }
+
+    #[test]
+    fn scenario_overlay_reports_sim_without_changing_training() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised).with_epochs(6);
+        let plain = run_lumos(&ds, &cfg);
+        let hetero = run_lumos(
+            &ds,
+            &cfg.clone()
+                .with_scenario(lumos_sim::Scenario::StragglerTail),
+        );
+        // Timing overlay only: the learned model is bit-identical.
+        assert_eq!(plain.test_metric.to_bits(), hetero.test_metric.to_bits());
+        assert_eq!(plain.final_loss().to_bits(), hetero.final_loss().to_bits());
+        assert!(plain.sim.is_none());
+        let sim = hetero.sim.expect("scenario run must report sim stats");
+        assert_eq!(sim.scenario, "straggler-tail");
+        assert_eq!(sim.straggler_sequence.len(), 6);
+        assert!(sim.total_virtual_secs > 0.0);
+        assert!(sim.avg_epoch_virtual_secs > 0.0);
+        assert!(sim.mean_utilization > 0.0 && sim.mean_utilization <= 1.0);
+        assert_eq!(sim.dropped_device_rounds, 0);
+        assert!(sim.dominant_straggler().is_some());
+    }
+
+    #[test]
+    fn uniform_scenario_beats_straggler_tail_on_makespan() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised).with_epochs(4);
+        let uniform = run_lumos(
+            &ds,
+            &cfg.clone().with_scenario(lumos_sim::Scenario::Uniform),
+        );
+        let tail = run_lumos(
+            &ds,
+            &cfg.clone()
+                .with_scenario(lumos_sim::Scenario::StragglerTail),
+        );
+        let (u, t) = (uniform.sim.unwrap(), tail.sim.unwrap());
+        assert!(
+            u.avg_epoch_virtual_secs < t.avg_epoch_virtual_secs,
+            "uniform {} must undercut straggler-tail {}",
+            u.avg_epoch_virtual_secs,
+            t.avg_epoch_virtual_secs
+        );
+    }
+
+    #[test]
+    fn churn_scenario_drops_devices() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised)
+            .with_epochs(8)
+            .with_scenario(lumos_sim::Scenario::Churn);
+        let report = run_lumos(&ds, &cfg);
+        let sim = report.sim.unwrap();
+        // 300 devices × 10% dropout × 8 rounds ⇒ churn must bite.
+        assert!(sim.dropped_device_rounds > 0);
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! paired with a straggler-dominated makespan model ([`clock::CostModel`]) —
 //! the quantities behind Figure 8's communication-round and training-time
 //! comparisons.
+//!
+//! The runtime has two pricing paths: the global linear [`clock::CostModel`]
+//! (every device identical — the paper's abstraction), and a profile-aware
+//! path ([`Runtime::with_profiles`]) that feeds each epoch's ledger deltas
+//! through the `lumos-sim` discrete-event simulator, so heterogeneous
+//! fleets report per-device virtual timing and straggler identities.
 
 pub mod clock;
 pub mod network;

@@ -13,6 +13,8 @@ pub struct DeviceTraffic {
     pub received: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Payload bytes received (from peers or the server).
+    pub bytes_received: u64,
 }
 
 /// The simulated network connecting `n` devices and a server.
@@ -21,6 +23,7 @@ pub struct SimNetwork {
     devices: Vec<DeviceTraffic>,
     server_received: u64,
     server_sent: u64,
+    server_bytes_sent: u64,
     rounds: u64,
 }
 
@@ -31,6 +34,7 @@ impl SimNetwork {
             devices: vec![DeviceTraffic::default(); n],
             server_received: 0,
             server_sent: 0,
+            server_bytes_sent: 0,
             rounds: 0,
         }
     }
@@ -45,7 +49,9 @@ impl SimNetwork {
         let d = &mut self.devices[from as usize];
         d.sent += 1;
         d.bytes_sent += bytes;
-        self.devices[to as usize].received += 1;
+        let r = &mut self.devices[to as usize];
+        r.received += 1;
+        r.bytes_received += bytes;
     }
 
     /// Records a device-to-server message.
@@ -57,9 +63,12 @@ impl SimNetwork {
     }
 
     /// Records a server-to-device message.
-    pub fn send_from_server(&mut self, to: u32, _bytes: u64) {
+    pub fn send_from_server(&mut self, to: u32, bytes: u64) {
         self.server_sent += 1;
-        self.devices[to as usize].received += 1;
+        self.server_bytes_sent += bytes;
+        let r = &mut self.devices[to as usize];
+        r.received += 1;
+        r.bytes_received += bytes;
     }
 
     /// Marks a synchronization round (all devices advance together — the
@@ -78,9 +87,16 @@ impl SimNetwork {
         self.devices.iter().map(|d| d.sent).sum::<u64>() + self.server_sent
     }
 
-    /// Total payload bytes sent by devices.
+    /// Total payload bytes across all three directions: device → device and
+    /// device → server (both counted at the sending device) plus
+    /// server → device.
     pub fn total_bytes(&self) -> u64 {
-        self.devices.iter().map(|d| d.bytes_sent).sum()
+        self.devices.iter().map(|d| d.bytes_sent).sum::<u64>() + self.server_bytes_sent
+    }
+
+    /// Payload bytes sent by the server.
+    pub fn server_bytes_sent(&self) -> u64 {
+        self.server_bytes_sent
     }
 
     /// Synchronization rounds so far.
@@ -110,6 +126,8 @@ impl SimNetwork {
             total_bytes: self.total_bytes(),
             rounds: self.rounds,
             per_device_sent: self.devices.iter().map(|d| d.sent).collect(),
+            per_device_bytes_sent: self.devices.iter().map(|d| d.bytes_sent).collect(),
+            per_device_bytes_received: self.devices.iter().map(|d| d.bytes_received).collect(),
         }
     }
 
@@ -119,6 +137,24 @@ impl SimNetwork {
             .iter()
             .zip(&snap.per_device_sent)
             .map(|(d, &s)| d.sent - s)
+            .collect()
+    }
+
+    /// Per-device payload bytes sent since a snapshot.
+    pub fn bytes_sent_since(&self, snap: &NetworkSnapshot) -> Vec<u64> {
+        self.devices
+            .iter()
+            .zip(&snap.per_device_bytes_sent)
+            .map(|(d, &s)| d.bytes_sent - s)
+            .collect()
+    }
+
+    /// Per-device payload bytes received since a snapshot.
+    pub fn bytes_received_since(&self, snap: &NetworkSnapshot) -> Vec<u64> {
+        self.devices
+            .iter()
+            .zip(&snap.per_device_bytes_received)
+            .map(|(d, &s)| d.bytes_received - s)
             .collect()
     }
 }
@@ -134,6 +170,10 @@ pub struct NetworkSnapshot {
     pub rounds: u64,
     /// Per-device sent counters.
     pub per_device_sent: Vec<u64>,
+    /// Per-device bytes-sent counters.
+    pub per_device_bytes_sent: Vec<u64>,
+    /// Per-device bytes-received counters.
+    pub per_device_bytes_received: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -147,17 +187,35 @@ mod tests {
         net.send(0, 2, 50);
         net.send(2, 0, 10);
         net.send_to_server(1, 4);
-        net.send_from_server(1, 4);
+        net.send_from_server(1, 6);
         net.round();
         assert_eq!(net.device(0).sent, 2);
         assert_eq!(net.device(0).received, 1);
         assert_eq!(net.device(0).bytes_sent, 150);
+        assert_eq!(net.device(0).bytes_received, 10);
         assert_eq!(net.device(1).received, 2);
+        assert_eq!(net.device(1).bytes_received, 106); // 100 from dev 0 + 6 from server
+        assert_eq!(net.device(2).bytes_received, 50);
         assert_eq!(net.total_messages(), 5);
-        assert_eq!(net.total_bytes(), 164);
+        // All three directions: 160 dev→dev + 4 dev→server + 6 server→dev.
+        assert_eq!(net.server_bytes_sent(), 6);
+        assert_eq!(net.total_bytes(), 170);
         assert_eq!(net.rounds(), 1);
         assert_eq!(net.server_received(), 1);
         assert!((net.avg_sent_per_device() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn server_payloads_are_not_dropped() {
+        // Regression: `send_from_server` used to discard its byte argument,
+        // so server → device payloads were invisible to `total_bytes`.
+        let mut net = SimNetwork::new(2);
+        net.send_from_server(0, 128);
+        net.send_from_server(1, 128);
+        assert_eq!(net.total_bytes(), 256);
+        assert_eq!(net.server_bytes_sent(), 256);
+        assert_eq!(net.device(0).bytes_received, 128);
+        assert_eq!(net.total_messages(), 2);
     }
 
     #[test]
@@ -170,5 +228,7 @@ mod tests {
         let delta = net.sent_since(&snap);
         assert_eq!(delta, vec![1, 1]);
         assert_eq!(net.total_messages() - snap.total_messages, 2);
+        assert_eq!(net.bytes_sent_since(&snap), vec![8, 8]);
+        assert_eq!(net.bytes_received_since(&snap), vec![8, 8]);
     }
 }

@@ -6,6 +6,7 @@
 //! records the system-cost experiments consume.
 
 use lumos_common::timer::Stopwatch;
+use lumos_sim::{simulate_epoch, DeviceProfile, DeviceWork, EpochStats};
 
 use crate::clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
 use crate::network::{NetworkSnapshot, SimNetwork};
@@ -21,6 +22,10 @@ pub struct EpochRecord {
     pub avg_messages_per_device: f64,
     /// Total messages during this epoch.
     pub total_messages: u64,
+    /// Event-driven simulation of this epoch (present when the runtime has
+    /// device profiles; prices each device by its own capabilities instead
+    /// of the global [`CostModel`]).
+    pub sim: Option<EpochStats>,
 }
 
 /// Synchronous round engine owning the network and epoch log.
@@ -29,19 +34,51 @@ pub struct Runtime {
     /// The simulated network.
     pub network: SimNetwork,
     cost_model: CostModel,
+    profiles: Option<Vec<DeviceProfile>>,
     epochs: Vec<EpochRecord>,
     current: Option<(usize, Stopwatch, NetworkSnapshot)>,
 }
 
 impl Runtime {
-    /// Creates a runtime for `n` devices.
+    /// Creates a runtime for `n` devices priced by the global cost model.
     pub fn new(n: usize, cost_model: CostModel) -> Self {
         Self {
             network: SimNetwork::new(n),
             cost_model,
+            profiles: None,
             epochs: Vec::new(),
             current: None,
         }
+    }
+
+    /// Creates a runtime whose epochs are additionally priced per-device by
+    /// `profiles` through the `lumos-sim` discrete-event simulator.
+    ///
+    /// # Panics
+    /// Panics if `profiles.len() != n`.
+    pub fn with_profiles(n: usize, cost_model: CostModel, profiles: Vec<DeviceProfile>) -> Self {
+        let mut rt = Self::new(n, cost_model);
+        rt.set_profiles(profiles);
+        rt
+    }
+
+    /// Installs (or replaces) the device profiles used by subsequent
+    /// epochs. Scenarios with churn call this every round.
+    ///
+    /// # Panics
+    /// Panics if the profile count does not match the device count.
+    pub fn set_profiles(&mut self, profiles: Vec<DeviceProfile>) {
+        assert_eq!(
+            profiles.len(),
+            self.network.num_devices(),
+            "one profile per device"
+        );
+        self.profiles = Some(profiles);
+    }
+
+    /// The device profiles, if the profile-aware path is active.
+    pub fn profiles(&self) -> Option<&[DeviceProfile]> {
+        self.profiles.as_deref()
     }
 
     /// The cost model in use.
@@ -76,6 +113,21 @@ impl Runtime {
             .collect();
         let total_messages = self.network.total_messages() - snap.total_messages;
         let n = self.network.num_devices().max(1) as f64;
+        let sim = self.profiles.as_ref().map(|profiles| {
+            let bytes_out = self.network.bytes_sent_since(&snap);
+            let bytes_in = self.network.bytes_received_since(&snap);
+            let work: Vec<DeviceWork> = device_tree_nodes
+                .iter()
+                .enumerate()
+                .map(|(d, &nodes)| DeviceWork {
+                    compute_units: (nodes * layers) as f64,
+                    messages_out: sent.get(d).copied().unwrap_or(0),
+                    bytes_out: bytes_out[d],
+                    bytes_in: bytes_in[d],
+                })
+                .collect();
+            simulate_epoch(profiles, &work)
+        });
         self.epochs.push(EpochRecord {
             epoch: idx,
             timing: EpochTiming {
@@ -85,6 +137,7 @@ impl Runtime {
             },
             avg_messages_per_device: total_messages as f64 / n,
             total_messages,
+            sim,
         });
         self.epochs.last().expect("just pushed")
     }
@@ -124,6 +177,41 @@ impl Runtime {
             self.epochs.iter().map(|e| e.timing.makespan).sum::<f64>() / self.epochs.len() as f64
         }
     }
+
+    /// Epochs that carry an event-driven simulation record.
+    fn sim_epochs(&self) -> impl Iterator<Item = &EpochStats> {
+        self.epochs.iter().filter_map(|e| e.sim.as_ref())
+    }
+
+    /// Total simulated (virtual) seconds across all profiled epochs.
+    pub fn total_sim_secs(&self) -> f64 {
+        self.sim_epochs().map(|s| s.makespan_secs).sum()
+    }
+
+    /// Mean simulated seconds per profiled epoch.
+    pub fn avg_sim_epoch_secs(&self) -> f64 {
+        let n = self.sim_epochs().count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_sim_secs() / n as f64
+        }
+    }
+
+    /// The straggler of each profiled epoch, in epoch order.
+    pub fn straggler_sequence(&self) -> Vec<u32> {
+        self.sim_epochs().filter_map(|s| s.straggler).collect()
+    }
+
+    /// Mean device utilization across profiled epochs (busy / makespan).
+    pub fn mean_sim_utilization(&self) -> f64 {
+        let n = self.sim_epochs().count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sim_epochs().map(|s| s.mean_utilization()).sum::<f64>() / n as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +248,65 @@ mod tests {
         assert!((rt.avg_messages_per_device_per_epoch() - 0.5).abs() < 1e-12);
         assert!(rt.avg_epoch_makespan() > 0.0);
         assert!(rt.avg_epoch_wall_secs() >= 0.0);
+    }
+
+    #[test]
+    fn cost_model_path_records_no_sim() {
+        let mut rt = Runtime::new(2, CostModel::default());
+        rt.begin_epoch();
+        let rec = rt.end_epoch(&[3, 3], 2).clone();
+        assert!(rec.sim.is_none());
+        assert_eq!(rt.total_sim_secs(), 0.0);
+        assert!(rt.straggler_sequence().is_empty());
+    }
+
+    #[test]
+    fn profile_path_prices_devices_individually() {
+        // Two equal workloads, but device 1 computes 100× slower: the
+        // global cost model sees identical devices while the profile path
+        // names device 1 the straggler.
+        let mut profiles = vec![DeviceProfile::baseline(); 2];
+        profiles[1].compute_rate /= 100.0;
+        let mut rt = Runtime::with_profiles(2, CostModel::default(), profiles);
+        rt.begin_epoch();
+        rt.network.send(0, 1, 64);
+        rt.network.send(1, 0, 64);
+        let rec = rt.end_epoch(&[10, 10], 2).clone();
+        let sim = rec.sim.expect("profile path must simulate");
+        assert_eq!(sim.straggler, Some(1));
+        assert!(sim.busy_secs[1] > sim.busy_secs[0]);
+        assert!(rt.total_sim_secs() > 0.0);
+        assert_eq!(rt.straggler_sequence(), vec![1]);
+        assert!(rt.avg_sim_epoch_secs() > 0.0);
+        assert!(rt.mean_sim_utilization() > 0.0 && rt.mean_sim_utilization() <= 1.0);
+        // The global model still prices both devices identically.
+        assert!((rec.timing.makespan - rec.timing.mean_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_epochs_are_deterministic() {
+        let run = || {
+            let mut profiles = vec![DeviceProfile::baseline(); 3];
+            profiles[2].uplink_bytes_per_sec /= 7.0;
+            let mut rt = Runtime::with_profiles(3, CostModel::default(), profiles);
+            for _ in 0..4 {
+                rt.begin_epoch();
+                rt.network.send(0, 1, 100);
+                rt.network.send(2, 0, 300);
+                rt.end_epoch(&[5, 6, 7], 2);
+            }
+            (rt.total_sim_secs(), rt.straggler_sequence())
+        };
+        let (a_secs, a_seq) = run();
+        let (b_secs, b_seq) = run();
+        assert_eq!(a_secs.to_bits(), b_secs.to_bits());
+        assert_eq!(a_seq, b_seq);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_profile_count_panics() {
+        Runtime::with_profiles(3, CostModel::default(), vec![DeviceProfile::baseline(); 2]);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Property tests for the straggler cost model: the epoch makespan (a max)
+//! dominates the mean device cost for *any* cost vector, and both reduce
+//! sensibly on degenerate inputs.
+
+use proptest::prelude::*;
+
+use lumos_common::rng::Xoshiro256pp;
+use lumos_fed::{epoch_makespan, epoch_mean_cost};
+
+/// A random non-negative cost vector from one seed.
+fn random_costs(seed: u64, len: usize) -> Vec<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..len).map(|_| rng.range_f64(0.0, 1e6)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The synchronous barrier can never beat perfect balance:
+    /// `makespan >= mean` for every cost vector.
+    #[test]
+    fn makespan_dominates_mean_cost(seed in any::<u64>(), len in 0usize..128) {
+        let costs = random_costs(seed, len);
+        let makespan = epoch_makespan(&costs);
+        let mean = epoch_mean_cost(&costs);
+        prop_assert!(
+            makespan >= mean,
+            "makespan {} < mean {} for {} devices",
+            makespan, mean, len
+        );
+        // The makespan is attained by some device; the mean never exceeds it.
+        if !costs.is_empty() {
+            prop_assert!(costs.contains(&makespan));
+        }
+    }
+
+    /// On a perfectly balanced fleet the barrier costs nothing extra.
+    #[test]
+    fn equal_costs_collapse_makespan_to_mean(cost in 0.0f64..1e6, len in 1usize..64) {
+        let costs = vec![cost; len];
+        prop_assert_eq!(epoch_makespan(&costs).to_bits(), cost.to_bits());
+        prop_assert!((epoch_mean_cost(&costs) - cost).abs() < 1e-9 * cost.max(1.0));
+    }
+}

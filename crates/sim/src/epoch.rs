@@ -1,0 +1,301 @@
+//! Discrete-event simulation of one synchronous training epoch.
+//!
+//! Each available device computes its local update, serializes its outbound
+//! messages through its uplink (the burst's last message lands one
+//! propagation latency after the upload completes), and drains its inbound
+//! payload through its downlink. Up- and downlink are full-duplex, so they overlap each other
+//! (and the latency tail) but never the device's own compute. The epoch is
+//! synchronous (§IV-B): it ends when the last event fires, and the device
+//! that fires it is the epoch's straggler.
+//!
+//! The simulator runs entirely on [`VirtualTime`] — no `Instant`, no real
+//! clock — so identical inputs give bit-identical statistics.
+
+use crate::profile::DeviceProfile;
+use crate::queue::{EventQueue, VirtualTime};
+
+/// The work one device performs in one epoch, in the trainer's units
+/// (compute: tree-nodes × layers; traffic: ledger-counted payload bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceWork {
+    /// Local compute, in work units.
+    pub compute_units: f64,
+    /// Outbound messages (device → device and device → server).
+    pub messages_out: u64,
+    /// Outbound payload bytes.
+    pub bytes_out: u64,
+    /// Inbound payload bytes.
+    pub bytes_in: u64,
+}
+
+impl DeviceWork {
+    /// Whether this device has anything to do this epoch.
+    pub fn is_idle(&self) -> bool {
+        self.compute_units == 0.0
+            && self.messages_out == 0
+            && self.bytes_out == 0
+            && self.bytes_in == 0
+    }
+}
+
+/// What happened during one simulated epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Virtual seconds from epoch start to the last event — the epoch
+    /// makespan under the synchronous barrier.
+    pub makespan_secs: f64,
+    /// Per-device busy time (compute + the wider of its two link phases).
+    pub busy_secs: Vec<f64>,
+    /// Per-device idle time (`makespan - busy`, zero for absent devices).
+    pub idle_secs: Vec<f64>,
+    /// The device whose event closed the epoch (None if nothing ran).
+    pub straggler: Option<u32>,
+    /// Devices that participated (available, regardless of workload).
+    pub active_devices: usize,
+    /// Events processed by the queue.
+    pub events: u64,
+}
+
+impl EpochStats {
+    /// Mean fraction of the makespan active devices spent busy
+    /// (1.0 = perfectly balanced, → 0 under a dominant straggler).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.makespan_secs <= 0.0 || self.active_devices == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_secs.iter().sum();
+        busy / (self.active_devices as f64 * self.makespan_secs)
+    }
+}
+
+/// Simulation events; each is attributed to the device that caused it.
+enum Event {
+    /// Local compute finished.
+    ComputeDone(u32),
+    /// The last message of the device's outbound burst arrived.
+    Delivered(u32),
+    /// All inbound payload drained through the downlink.
+    InboxDrained(u32),
+}
+
+impl Event {
+    fn device(&self) -> u32 {
+        match *self {
+            Event::ComputeDone(d) | Event::Delivered(d) | Event::InboxDrained(d) => d,
+        }
+    }
+}
+
+/// Runs one epoch over the fleet and returns its statistics.
+///
+/// Devices with `available == false` contribute nothing (their update is
+/// skipped this round); the simulation is a timing overlay and never
+/// changes what the trainer computes.
+///
+/// # Panics
+/// Panics if `profiles` and `work` have different lengths.
+pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochStats {
+    assert_eq!(
+        profiles.len(),
+        work.len(),
+        "one workload entry per device profile"
+    );
+    let n = profiles.len();
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut busy = vec![0.0f64; n];
+    let mut active = 0usize;
+
+    for (d, (p, w)) in profiles.iter().zip(work).enumerate() {
+        if !p.available {
+            continue;
+        }
+        active += 1;
+        if w.is_idle() {
+            continue;
+        }
+        p.validate();
+        let compute_end = VirtualTime::new(p.compute_secs(w.compute_units));
+        queue.push(compute_end, Event::ComputeDone(d as u32));
+        let upload = p.upload_secs(w.bytes_out);
+        let download = p.download_secs(w.bytes_in);
+        busy[d] = compute_end.secs() + upload.max(download);
+    }
+
+    let mut events = 0u64;
+    let mut straggler = None;
+    let mut makespan = VirtualTime::ZERO;
+    while let Some((t, ev)) = queue.pop() {
+        events += 1;
+        makespan = t;
+        straggler = Some(ev.device());
+        let d = ev.device() as usize;
+        let (p, w) = (&profiles[d], &work[d]);
+        match ev {
+            Event::ComputeDone(dev) => {
+                // Uplink: messages serialize, so the burst's last message
+                // lands one latency after the whole upload ends. Earlier
+                // deliveries are strictly before it and observable by
+                // nothing (aggregate ledger, analytic busy time), so only
+                // the closing delivery is scheduled — makespan and
+                // straggler are identical to the per-message schedule at
+                // O(1) events per device.
+                if w.messages_out > 0 || w.bytes_out > 0 {
+                    queue.push(
+                        t.after(p.upload_secs(w.bytes_out)).after(p.latency_secs),
+                        Event::Delivered(dev),
+                    );
+                }
+                // Downlink: the inbound payload drains in parallel.
+                if w.bytes_in > 0 {
+                    queue.push(
+                        t.after(p.download_secs(w.bytes_in)),
+                        Event::InboxDrained(dev),
+                    );
+                }
+            }
+            Event::Delivered(_) | Event::InboxDrained(_) => {}
+        }
+    }
+
+    let makespan_secs = makespan.secs();
+    let idle = profiles
+        .iter()
+        .zip(&busy)
+        .map(|(p, &b)| {
+            if p.available {
+                (makespan_secs - b).max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    EpochStats {
+        makespan_secs,
+        busy_secs: busy,
+        idle_secs: idle,
+        straggler,
+        active_devices: active,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_fleet(n: usize) -> Vec<DeviceProfile> {
+        vec![DeviceProfile::baseline(); n]
+    }
+
+    fn work(units: f64, msgs: u64, out: u64, inb: u64) -> DeviceWork {
+        DeviceWork {
+            compute_units: units,
+            messages_out: msgs,
+            bytes_out: out,
+            bytes_in: inb,
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_a_zero_epoch() {
+        let stats = simulate_epoch(&[], &[]);
+        assert_eq!(stats.makespan_secs, 0.0);
+        assert_eq!(stats.straggler, None);
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn straggler_is_the_heaviest_device() {
+        let profiles = flat_fleet(3);
+        let w = vec![
+            work(100.0, 2, 128, 0),
+            work(5000.0, 2, 128, 0), // 50× the compute of its peers
+            work(100.0, 2, 128, 0),
+        ];
+        let stats = simulate_epoch(&profiles, &w);
+        assert_eq!(stats.straggler, Some(1));
+        assert!(stats.makespan_secs >= 50.0); // 5000 units / 100 units-per-sec
+        assert!(stats.busy_secs[1] > stats.busy_secs[0]);
+        assert!(stats.idle_secs[0] > stats.idle_secs[1]);
+        assert_eq!(stats.active_devices, 3);
+    }
+
+    #[test]
+    fn slow_device_straggles_on_equal_work() {
+        let mut profiles = flat_fleet(3);
+        profiles[2].compute_rate /= 40.0;
+        let w = vec![work(200.0, 1, 64, 64); 3];
+        let stats = simulate_epoch(&profiles, &w);
+        assert_eq!(stats.straggler, Some(2));
+        assert!(stats.mean_utilization() < 0.5, "straggler dominates");
+    }
+
+    #[test]
+    fn unavailable_devices_are_skipped() {
+        let mut profiles = flat_fleet(2);
+        profiles[0].available = false;
+        let w = vec![work(1e9, 0, 0, 0), work(100.0, 0, 0, 0)];
+        let stats = simulate_epoch(&profiles, &w);
+        assert_eq!(stats.straggler, Some(1));
+        assert_eq!(stats.active_devices, 1);
+        assert_eq!(stats.busy_secs[0], 0.0);
+        assert_eq!(stats.idle_secs[0], 0.0);
+        assert!((stats.makespan_secs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_covers_upload_latency_and_download() {
+        let p = DeviceProfile {
+            compute_rate: 10.0,
+            uplink_bytes_per_sec: 100.0,
+            downlink_bytes_per_sec: 100.0,
+            latency_secs: 0.5,
+            available: true,
+        };
+        // compute 1s, upload 2s (+0.5 latency), download 1s.
+        let stats = simulate_epoch(&[p], &[work(10.0, 4, 200, 100)]);
+        assert!((stats.makespan_secs - 3.5).abs() < 1e-12);
+        // Busy: compute + max(upload, download) = 3s; latency is idle air time.
+        assert!((stats.busy_secs[0] - 3.0).abs() < 1e-12);
+        // Events: compute done + burst delivered + inbox drained.
+        assert_eq!(stats.events, 3);
+    }
+
+    #[test]
+    fn busy_never_exceeds_makespan() {
+        let profiles = flat_fleet(4);
+        let w = vec![
+            work(50.0, 3, 900, 2000),
+            work(500.0, 1, 10, 0),
+            work(0.0, 0, 0, 0),
+            work(20.0, 8, 2000, 50),
+        ];
+        let stats = simulate_epoch(&profiles, &w);
+        for d in 0..4 {
+            assert!(
+                stats.busy_secs[d] <= stats.makespan_secs + 1e-12,
+                "device {d} busy {} > makespan {}",
+                stats.busy_secs[d],
+                stats.makespan_secs
+            );
+            assert!(stats.idle_secs[d] >= 0.0);
+        }
+        let u = stats.mean_utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn identical_inputs_give_identical_stats() {
+        let mut profiles = flat_fleet(8);
+        for (i, p) in profiles.iter_mut().enumerate() {
+            p.compute_rate = 100.0 / (i + 1) as f64;
+        }
+        let w: Vec<DeviceWork> = (0..8)
+            .map(|i| work(i as f64 * 30.0, i as u64, 64 * i as u64, 32))
+            .collect();
+        let a = simulate_epoch(&profiles, &w);
+        let b = simulate_epoch(&profiles, &w);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! `lumos-sim` — a deterministic discrete-event simulator for
+//! heterogeneous decentralized devices.
+//!
+//! The paper evaluates Lumos on one machine and *models* the straggler
+//! effect with a global linear cost (`lumos_fed::CostModel`). This crate
+//! makes the decentralized-device setting first-class:
+//!
+//! * [`profile`] — per-device capabilities ([`DeviceProfile`]: compute
+//!   rate, asymmetric link throughput, latency, availability) sampled from
+//!   seeded heterogeneity distributions ([`Heterogeneity`]: uniform,
+//!   jitter, lognormal, Pareto).
+//! * [`queue`] — a virtual-time event queue ([`EventQueue`] over
+//!   [`VirtualTime`], ties broken by push sequence) with no real clock
+//!   anywhere in the simulation path.
+//! * [`epoch`] — [`simulate_epoch`]: schedules per-device compute,
+//!   message-delivery, and inbox-drain events, and reports the epoch
+//!   makespan, per-device busy/idle time, and the straggler's identity.
+//! * [`scenario`] — presets ([`Scenario::Uniform`],
+//!   [`Scenario::MobileFleet`], [`Scenario::StragglerTail`],
+//!   [`Scenario::Churn`]) and the round-to-round fleet evolution
+//!   ([`ScenarioState`]) including dropout/rejoin.
+//!
+//! Everything is a pure function of the seed: same seed + same scenario ⇒
+//! bit-identical makespans and straggler sequences (asserted by
+//! `tests/determinism.rs` at the workspace root).
+
+pub mod epoch;
+pub mod profile;
+pub mod queue;
+pub mod scenario;
+
+pub use epoch::{simulate_epoch, DeviceWork, EpochStats};
+pub use profile::{DeviceProfile, FleetSpec, Heterogeneity};
+pub use queue::{EventQueue, VirtualTime};
+pub use scenario::{Scenario, ScenarioState};

@@ -1,0 +1,212 @@
+//! Virtual time and the deterministic event queue.
+//!
+//! The simulator never reads a real clock: every event carries a
+//! [`VirtualTime`], and ties are broken by insertion sequence number, so the
+//! pop order — and therefore every statistic derived from it — is a pure
+//! function of the pushed events. This is what keeps the same-seed →
+//! bit-identical contract of `tests/determinism.rs` intact when scenarios
+//! are enabled.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A point on the simulator's virtual clock, in abstract seconds.
+///
+/// Wraps an `f64` with a *total* order (`f64::total_cmp`) so it can key a
+/// `BinaryHeap`. Construction rejects NaN and negative values, so ordinary
+/// comparisons never hit the exotic corners of the total order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VirtualTime(f64);
+
+impl VirtualTime {
+    /// The epoch origin, t = 0.
+    pub const ZERO: VirtualTime = VirtualTime(0.0);
+
+    /// Creates a virtual time at `secs`.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative.
+    pub fn new(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "virtual time must be finite and >= 0, got {secs}"
+        );
+        Self(secs)
+    }
+
+    /// The time as abstract seconds.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// This time advanced by `delta` seconds.
+    ///
+    /// # Panics
+    /// Panics if `delta` is NaN or negative.
+    pub fn after(self, delta: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "time delta must be finite and >= 0, got {delta}"
+        );
+        Self(self.0 + delta)
+    }
+}
+
+impl Eq for VirtualTime {}
+
+impl PartialOrd for VirtualTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VirtualTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One scheduled entry: `(time, seq)` orders the heap; `seq` is the push
+/// counter, so simultaneous events pop in insertion order.
+struct Entry<E> {
+    time: VirtualTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// Pops are non-decreasing in time; events at equal times pop in push order.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: VirtualTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the last pop.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the simulated past (before the last pop).
+    pub fn push(&mut self, time: VirtualTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {} < {}",
+            time.secs(),
+            self.now.secs()
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap returned a past event");
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::new(2.0), "late");
+        q.push(VirtualTime::new(1.0), "tie-a");
+        q.push(VirtualTime::new(1.0), "tie-b");
+        q.push(VirtualTime::new(0.5), "early");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["early", "tie-a", "tie-b", "late"]);
+        assert_eq!(q.now().secs(), 2.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clock_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), VirtualTime::ZERO);
+        q.push(VirtualTime::new(3.5), ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.secs(), 3.5);
+        assert_eq!(q.now().secs(), 3.5);
+        // Scheduling at the current instant is allowed.
+        q.push(q.now(), ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::new(2.0), ());
+        q.pop();
+        q.push(VirtualTime::new(1.0), ());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_time_panics() {
+        VirtualTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn after_advances() {
+        let t = VirtualTime::new(1.0).after(0.25);
+        assert_eq!(t.secs(), 1.25);
+        assert!(VirtualTime::new(1.0) < t);
+    }
+}

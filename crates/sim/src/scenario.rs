@@ -1,0 +1,241 @@
+//! Named device-fleet scenarios and their round-to-round evolution.
+//!
+//! A [`Scenario`] is a preset [`FleetSpec`] — a point on the mild → extreme
+//! heterogeneity axis — plus churn behavior. [`ScenarioState`] owns the
+//! sampled fleet and a private RNG stream, applies dropout/rejoin between
+//! rounds, and guarantees at least one device stays available, so a run
+//! can never stall on an empty fleet.
+
+use lumos_common::rng::Xoshiro256pp;
+
+use crate::profile::{DeviceProfile, FleetSpec, Heterogeneity};
+
+/// The scenario presets the heterogeneity sweep compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Identical devices: the degenerate case where the event-driven
+    /// makespan reduces to the old global cost model's shape.
+    Uniform,
+    /// A lognormal fleet of phones: moderate compute skew, strong
+    /// bandwidth skew, no churn.
+    MobileFleet,
+    /// A Pareto compute tail: a few devices are extreme stragglers.
+    StragglerTail,
+    /// Mild heterogeneity plus devices dropping out and rejoining
+    /// between rounds.
+    Churn,
+}
+
+impl Scenario {
+    /// All presets, in sweep order (mild → extreme → churn).
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Uniform,
+        Scenario::MobileFleet,
+        Scenario::StragglerTail,
+        Scenario::Churn,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::MobileFleet => "mobile-fleet",
+            Scenario::StragglerTail => "straggler-tail",
+            Scenario::Churn => "churn",
+        }
+    }
+
+    /// Parses a scenario name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Some(Scenario::Uniform),
+            "mobile-fleet" | "mobile" => Some(Scenario::MobileFleet),
+            "straggler-tail" | "stragglers" => Some(Scenario::StragglerTail),
+            "churn" => Some(Scenario::Churn),
+            _ => None,
+        }
+    }
+
+    /// The fleet distribution this scenario samples devices from.
+    pub fn fleet_spec(self) -> FleetSpec {
+        let base = DeviceProfile::baseline();
+        match self {
+            Scenario::Uniform => FleetSpec {
+                base,
+                compute: Heterogeneity::Uniform,
+                link: Heterogeneity::Uniform,
+                dropout: 0.0,
+                rejoin: 1.0,
+            },
+            Scenario::MobileFleet => FleetSpec {
+                base,
+                compute: Heterogeneity::LogNormal { sigma: 0.5 },
+                link: Heterogeneity::LogNormal { sigma: 0.75 },
+                dropout: 0.0,
+                rejoin: 1.0,
+            },
+            Scenario::StragglerTail => FleetSpec {
+                base,
+                compute: Heterogeneity::Pareto { alpha: 1.1 },
+                link: Heterogeneity::Jitter { spread: 0.25 },
+                dropout: 0.0,
+                rejoin: 1.0,
+            },
+            Scenario::Churn => FleetSpec {
+                base,
+                compute: Heterogeneity::LogNormal { sigma: 0.35 },
+                link: Heterogeneity::LogNormal { sigma: 0.5 },
+                dropout: 0.10,
+                rejoin: 0.60,
+            },
+        }
+    }
+}
+
+/// A sampled fleet evolving round by round under its scenario's churn.
+#[derive(Debug, Clone)]
+pub struct ScenarioState {
+    scenario: Scenario,
+    spec: FleetSpec,
+    profiles: Vec<DeviceProfile>,
+    rng: Xoshiro256pp,
+    rounds: u64,
+    dropped_device_rounds: u64,
+}
+
+impl ScenarioState {
+    /// Samples a fleet of `n` devices. The state owns an RNG stream derived
+    /// only from `seed`, so scenario timing never perturbs the trainer's
+    /// stochastic streams (same seed ⇒ same training math, scenario or not).
+    pub fn new(scenario: Scenario, n: usize, seed: u64) -> Self {
+        let spec = scenario.fleet_spec();
+        // Domain-separate from the trainer's seed usage.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x51AC_051A_u64.rotate_left(17));
+        let profiles = spec.sample_fleet(n, &mut rng);
+        Self {
+            scenario,
+            spec,
+            profiles,
+            rng,
+            rounds: 0,
+            dropped_device_rounds: 0,
+        }
+    }
+
+    /// The scenario this state was built from.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The fleet as of the current round.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// Rounds advanced so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total device-rounds lost to churn so far.
+    pub fn dropped_device_rounds(&self) -> u64 {
+        self.dropped_device_rounds
+    }
+
+    /// Applies one round of churn: available devices drop with probability
+    /// `dropout`, dropped devices rejoin with probability `rejoin`. At
+    /// least one device always stays available.
+    pub fn advance_round(&mut self) {
+        self.rounds += 1;
+        if self.spec.dropout > 0.0 || self.profiles.iter().any(|p| !p.available) {
+            for p in self.profiles.iter_mut() {
+                if p.available {
+                    if self.rng.bernoulli(self.spec.dropout) {
+                        p.available = false;
+                    }
+                } else if self.rng.bernoulli(self.spec.rejoin) {
+                    p.available = true;
+                }
+            }
+            if self.profiles.iter().all(|p| !p.available) {
+                if let Some(p) = self.profiles.first_mut() {
+                    p.available = true;
+                }
+            }
+        }
+        self.dropped_device_rounds += self.profiles.iter().filter(|p| !p.available).count() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn uniform_fleet_is_flat() {
+        let st = ScenarioState::new(Scenario::Uniform, 16, 7);
+        let first = st.profiles()[0];
+        assert!(st.profiles().iter().all(|p| *p == first));
+        assert!(first.available);
+    }
+
+    #[test]
+    fn straggler_tail_is_more_skewed_than_uniform() {
+        let st = ScenarioState::new(Scenario::StragglerTail, 256, 7);
+        let rates: Vec<f64> = st.profiles().iter().map(|p| p.compute_rate).collect();
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 5.0, "expected a heavy tail, got {max}/{min}");
+    }
+
+    #[test]
+    fn churn_drops_and_rejoins_but_never_empties() {
+        let mut st = ScenarioState::new(Scenario::Churn, 64, 11);
+        let mut saw_drop = false;
+        for _ in 0..50 {
+            st.advance_round();
+            let avail = st.profiles().iter().filter(|p| p.available).count();
+            assert!(avail >= 1, "fleet must never empty");
+            saw_drop |= avail < 64;
+        }
+        assert!(saw_drop, "10% dropout over 50 rounds must drop someone");
+        assert!(st.dropped_device_rounds() > 0);
+        assert_eq!(st.rounds(), 50);
+    }
+
+    #[test]
+    fn no_churn_scenarios_keep_everyone() {
+        for s in [
+            Scenario::Uniform,
+            Scenario::MobileFleet,
+            Scenario::StragglerTail,
+        ] {
+            let mut st = ScenarioState::new(s, 32, 3);
+            for _ in 0..10 {
+                st.advance_round();
+            }
+            assert!(st.profiles().iter().all(|p| p.available));
+            assert_eq!(st.dropped_device_rounds(), 0);
+        }
+    }
+
+    #[test]
+    fn state_is_seed_deterministic() {
+        let mut a = ScenarioState::new(Scenario::Churn, 32, 5);
+        let mut b = ScenarioState::new(Scenario::Churn, 32, 5);
+        for _ in 0..20 {
+            a.advance_round();
+            b.advance_round();
+        }
+        assert_eq!(a.profiles(), b.profiles());
+        assert_eq!(a.dropped_device_rounds(), b.dropped_device_rounds());
+    }
+}

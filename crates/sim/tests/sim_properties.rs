@@ -1,0 +1,103 @@
+//! Property tests for the discrete-event core: the virtual clock never
+//! runs backwards, and the epoch simulator's invariants hold for arbitrary
+//! seeded fleets and workloads.
+
+use proptest::prelude::*;
+
+use lumos_common::rng::Xoshiro256pp;
+use lumos_sim::{simulate_epoch, DeviceProfile, DeviceWork, EventQueue, VirtualTime};
+
+/// Random fleet + workload of `n` devices from one seed.
+fn random_fleet(seed: u64, n: usize) -> (Vec<DeviceProfile>, Vec<DeviceWork>) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let profiles = (0..n)
+        .map(|_| DeviceProfile {
+            compute_rate: rng.range_f64(0.5, 500.0),
+            uplink_bytes_per_sec: rng.range_f64(64.0, 1e5),
+            downlink_bytes_per_sec: rng.range_f64(64.0, 1e5),
+            latency_secs: rng.range_f64(0.0, 0.5),
+            available: rng.bernoulli(0.9),
+        })
+        .collect();
+    let work = (0..n)
+        .map(|_| DeviceWork {
+            compute_units: rng.range_f64(0.0, 5000.0),
+            messages_out: rng.next_below(32),
+            bytes_out: rng.next_below(1 << 16),
+            bytes_in: rng.next_below(1 << 16),
+        })
+        .collect();
+    (profiles, work)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Virtual-clock monotonicity: however events are pushed, pops are
+    /// non-decreasing in time, FIFO at ties, and nothing is lost.
+    #[test]
+    fn event_pops_are_monotone_in_time(seed in any::<u64>(), len in 1usize..256) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut queue = EventQueue::new();
+        for i in 0..len {
+            queue.push(VirtualTime::new(rng.range_f64(0.0, 1e6)), i);
+        }
+        prop_assert_eq!(queue.len(), len);
+        let mut popped = 0usize;
+        let mut last = VirtualTime::ZERO;
+        let mut last_seq = 0usize;
+        while let Some((t, seq)) = queue.pop() {
+            prop_assert!(t >= last, "clock ran backwards: {} < {}", t.secs(), last.secs());
+            if t == last && popped > 0 {
+                prop_assert!(seq > last_seq, "ties must pop in push order");
+            }
+            last = t;
+            last_seq = seq;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, len);
+    }
+
+    /// The synchronous barrier dominates every device: busy time never
+    /// exceeds the makespan, idle is the exact complement for available
+    /// devices, and utilization stays in [0, 1].
+    #[test]
+    fn epoch_invariants_hold_for_random_fleets(seed in any::<u64>(), n in 1usize..48) {
+        let (profiles, work) = random_fleet(seed, n);
+        let stats = simulate_epoch(&profiles, &work);
+        prop_assert!(stats.makespan_secs >= 0.0);
+        for (d, p) in profiles.iter().enumerate() {
+            prop_assert!(
+                stats.busy_secs[d] <= stats.makespan_secs + 1e-9,
+                "device {} busy {} exceeds makespan {}",
+                d, stats.busy_secs[d], stats.makespan_secs
+            );
+            prop_assert!(stats.idle_secs[d] >= 0.0);
+            if p.available {
+                let sum = stats.busy_secs[d] + stats.idle_secs[d];
+                prop_assert!(
+                    (sum - stats.makespan_secs).abs() < 1e-9 || stats.makespan_secs == 0.0,
+                    "busy + idle must equal makespan for device {}", d
+                );
+            } else {
+                prop_assert_eq!(stats.busy_secs[d], 0.0);
+                prop_assert_eq!(stats.idle_secs[d], 0.0);
+            }
+        }
+        let u = stats.mean_utilization();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utilization {} out of range", u);
+        // Straggler exists iff some available device had work.
+        let any_ran = profiles.iter().zip(&work).any(|(p, w)| p.available && !w.is_idle());
+        prop_assert_eq!(stats.straggler.is_some(), any_ran);
+    }
+
+    /// Bit-identical replay: the simulator is a pure function of its
+    /// inputs, with no hidden clock or iteration-order dependence.
+    #[test]
+    fn epoch_simulation_is_replayable(seed in any::<u64>(), n in 1usize..32) {
+        let (profiles, work) = random_fleet(seed, n);
+        let a = simulate_epoch(&profiles, &work);
+        let b = simulate_epoch(&profiles, &work);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -9,4 +9,5 @@ pub use lumos_fed as fed;
 pub use lumos_gnn as gnn;
 pub use lumos_graph as graph;
 pub use lumos_ldp as ldp;
+pub use lumos_sim as sim;
 pub use lumos_tensor as tensor;

@@ -9,6 +9,7 @@
 use lumos::core::{run_lumos, LumosConfig, RunReport, TaskKind};
 use lumos::data::{Dataset, Scale};
 use lumos::gnn::Backbone;
+use lumos::sim::Scenario;
 
 fn smoke_run(seed: u64) -> RunReport {
     let ds = Dataset::facebook_like(Scale::Smoke);
@@ -93,6 +94,72 @@ fn different_seeds_actually_differ() {
         !(same_metric && same_workloads),
         "seeds 1 and 2 produced bit-identical runs — seed is not being threaded"
     );
+}
+
+fn scenario_run(seed: u64, scenario: Scenario) -> RunReport {
+    let ds = Dataset::facebook_like(Scale::Smoke);
+    let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+        .with_epochs(8)
+        .with_mcmc_iterations(10)
+        .with_seed(seed)
+        .with_scenario(scenario);
+    run_lumos(&ds, &cfg)
+}
+
+#[test]
+fn same_seed_same_scenario_gives_identical_simulation() {
+    // Churn exercises every stochastic piece of the simulator: fleet
+    // sampling, dropout/rejoin, and the event-driven epoch timing.
+    for scenario in [Scenario::StragglerTail, Scenario::Churn] {
+        let a = scenario_run(0xDECADE, scenario);
+        let b = scenario_run(0xDECADE, scenario);
+        assert_reports_identical(&a, &b);
+        let (sa, sb) = (a.sim.expect("sim summary"), b.sim.expect("sim summary"));
+        assert_eq!(sa.scenario, sb.scenario);
+        assert_eq!(
+            sa.straggler_sequence, sb.straggler_sequence,
+            "{}: straggler sequence diverged",
+            sa.scenario
+        );
+        assert_eq!(
+            sa.total_virtual_secs.to_bits(),
+            sb.total_virtual_secs.to_bits(),
+            "{}: simulated makespan diverged",
+            sa.scenario
+        );
+        assert_eq!(
+            sa.avg_epoch_virtual_secs.to_bits(),
+            sb.avg_epoch_virtual_secs.to_bits()
+        );
+        assert_eq!(sa.mean_utilization.to_bits(), sb.mean_utilization.to_bits());
+        assert_eq!(sa.dropped_device_rounds, sb.dropped_device_rounds);
+    }
+}
+
+#[test]
+fn scenario_is_a_pure_timing_overlay() {
+    // Enabling a scenario must not touch the trainer's stochastic streams:
+    // the learned model is bit-identical with and without it.
+    let plain = smoke_run(0xDECADE);
+    let ds = Dataset::facebook_like(Scale::Smoke);
+    let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+        .with_epochs(12)
+        .with_mcmc_iterations(15)
+        .with_seed(0xDECADE)
+        .with_scenario(Scenario::Churn);
+    let overlaid = run_lumos(&ds, &cfg);
+    assert_reports_identical(&plain, &overlaid);
+    assert!(plain.sim.is_none());
+    assert!(overlaid.sim.is_some());
+}
+
+#[test]
+fn different_scenarios_time_differently() {
+    // The overlay must actually depend on the scenario: a uniform fleet
+    // and a Pareto tail cannot produce the same virtual makespan.
+    let uniform = scenario_run(5, Scenario::Uniform).sim.unwrap();
+    let tail = scenario_run(5, Scenario::StragglerTail).sim.unwrap();
+    assert!(uniform.total_virtual_secs < tail.total_virtual_secs);
 }
 
 #[test]
