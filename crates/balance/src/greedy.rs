@@ -20,18 +20,45 @@ pub const LOG_DEGREE_BITS: u32 = 8;
 
 /// `round(ln deg)` with the convention that isolated vertices map to 0.
 pub fn rounded_log_degree(deg: usize) -> u64 {
+    rounded_log_weighted(deg, 1)
+}
+
+/// `round(ln (deg · cost))`: the log of the device's *weighted* full-ego
+/// workload in fixed-point µs. With `cost = 1` this is exactly
+/// [`rounded_log_degree`] — the paper's unweighted comparison key. The log
+/// of any `u64` product fits comfortably in [`LOG_DEGREE_BITS`].
+pub fn rounded_log_weighted(deg: usize, cost: u64) -> u64 {
     if deg == 0 {
         0
     } else {
-        (deg as f64).ln().round() as u64
+        ((deg as u64 * cost) as f64).ln().round() as u64
     }
 }
 
 /// Runs Algorithm 1: one secure comparison per edge (the outcome is shared
-/// by both endpoints), producing the initial retained-neighbor sets.
+/// by both endpoints), producing the initial retained-neighbor sets under
+/// the unweighted (node-count) objective.
 pub fn greedy_init(g: &Graph, oracle: &mut dyn CompareOracle) -> Assignment {
+    greedy_init_weighted(g, None, oracle)
+}
+
+/// Cost-weighted Algorithm 1: each endpoint keeps the neighbor whose
+/// rounded log *weighted* degree is at least its own, so an edge between a
+/// throttled device and a fast one lands on the fast side even when their
+/// degrees match. `costs = None` (or all ones) reproduces the paper's
+/// comparison keys — and hence the assignment — bit for bit; the result
+/// carries the cost vector so downstream balancers stay weighted.
+pub fn greedy_init_weighted(
+    g: &Graph,
+    costs: Option<&[u64]>,
+    oracle: &mut dyn CompareOracle,
+) -> Assignment {
+    if let Some(c) = costs {
+        assert_eq!(c.len(), g.num_nodes(), "one cost per device");
+    }
+    let cost = |v: u32| costs.map_or(1, |c| c[v as usize]);
     let logs: Vec<u64> = (0..g.num_nodes() as u32)
-        .map(|v| rounded_log_degree(g.degree(v)))
+        .map(|v| rounded_log_weighted(g.degree(v), cost(v)))
         .collect();
     let mut keep: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
     for (u, v) in g.edges() {
@@ -47,7 +74,11 @@ pub fn greedy_init(g: &Graph, oracle: &mut dyn CompareOracle) -> Assignment {
             keep[v as usize].push(u);
         }
     }
-    Assignment::from_sets(keep)
+    let assignment = Assignment::from_sets(keep);
+    match costs {
+        Some(c) => assignment.with_costs(c.to_vec()),
+        None => assignment,
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +135,35 @@ mod tests {
             a.objective(),
             g.max_degree()
         );
+    }
+
+    #[test]
+    fn weighted_greedy_with_unit_costs_matches_unweighted() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let labels: Vec<u32> = (0..300).map(|_| rng.next_below(4) as u32).collect();
+        let g = homophilous_powerlaw(&labels, &PowerLawConfig::default(), &mut rng);
+        let ones = vec![1u64; g.num_nodes()];
+        let mut oa = MeteredPlainOracle::new();
+        let mut ob = MeteredPlainOracle::new();
+        let plain = greedy_init(&g, &mut oa);
+        let weighted = greedy_init_weighted(&g, Some(&ones), &mut ob);
+        for v in 0..g.num_nodes() as u32 {
+            assert_eq!(plain.kept(v), weighted.kept(v));
+        }
+        assert_eq!(oa.comparisons(), ob.comparisons());
+        assert_eq!(weighted.costs(), Some(&ones[..]));
+    }
+
+    #[test]
+    fn expensive_endpoint_sheds_equal_degree_edges() {
+        // Two degree-1 devices: unweighted greedy keeps both directions,
+        // but a 100× cost gap moves the edge onto the cheap device alone.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut oracle = MeteredPlainOracle::new();
+        let a = greedy_init_weighted(&g, Some(&[100, 1]), &mut oracle);
+        assert!(!a.keeps(0, 1), "expensive device must shed the edge");
+        assert!(a.keeps(1, 0), "cheap device must cover it");
+        a.check_feasible(&g).unwrap();
     }
 
     #[test]

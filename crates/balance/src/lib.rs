@@ -20,8 +20,13 @@ pub mod problem;
 pub use analysis::{degree_ecdf, summarize, workload_ecdf, BalanceSummary};
 pub use exact::{solve_exact, ExactSolution};
 pub use flow::FlowNetwork;
-pub use greedy::{greedy_init, rounded_log_degree, LOG_DEGREE_BITS};
-pub use maxfind::{find_max_workload_device, MaxFindOutcome, ServerTraffic, WORKLOAD_BITS};
+pub use greedy::{
+    greedy_init, greedy_init_weighted, rounded_log_degree, rounded_log_weighted, LOG_DEGREE_BITS,
+};
+pub use maxfind::{
+    find_max_workload_device, workload_bits, MaxFindOutcome, ServerTraffic, WEIGHTED_WORKLOAD_BITS,
+    WORKLOAD_BITS,
+};
 pub use mcmc::{mcmc_balance, McmcConfig, McmcOutcome, McmcStats};
 pub use oracle::{make_oracle, CompareOracle, MeteredPlainOracle, SecureOracle, SecurityMode};
-pub use problem::{objective_lower_bound, Assignment};
+pub use problem::{objective_lower_bound, Assignment, BalanceObjective};

@@ -15,9 +15,27 @@ use lumos_graph::Graph;
 use crate::oracle::CompareOracle;
 use crate::problem::Assignment;
 
-/// Bit width for workload comparisons (workloads are bounded by the maximum
-/// degree; 16 bits covers graphs up to degree 65,535).
+/// Bit width for unweighted workload comparisons (workloads are bounded by
+/// the maximum degree; 16 bits covers graphs up to degree 65,535).
 pub const WORKLOAD_BITS: u32 = 16;
+
+/// Bit width for *weighted* workload comparisons: per-node costs are
+/// fixed-point virtual microseconds (up to ~2·10⁷ µs/node for the slowest
+/// clamped profile) times a degree, so 48 bits (≈ 2.8·10¹⁴) leaves ample
+/// headroom.
+pub const WEIGHTED_WORKLOAD_BITS: u32 = 48;
+
+/// The comparison width Algorithm 3 uses for `assignment`: the paper's
+/// 16-bit node counts, or the wide fixed-point lane once costs are
+/// attached. Keeping the unweighted width untouched is what preserves the
+/// seed → bit-identical communication meters of the default objective.
+pub fn workload_bits(assignment: &Assignment) -> u32 {
+    if assignment.costs().is_some() {
+        WEIGHTED_WORKLOAD_BITS
+    } else {
+        WORKLOAD_BITS
+    }
+}
 
 /// Communication with the coordinating server during Algorithm 3.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,7 +68,12 @@ pub fn find_max_workload_device(
 ) -> MaxFindOutcome {
     let n = g.num_nodes();
     assert!(n > 0, "empty system");
-    let wl = |v: u32| assignment.workload(v) as u64;
+    let bits = workload_bits(assignment);
+    let wl = |v: u32| {
+        let w = assignment.weighted_workload(v);
+        debug_assert!(w < 1u64 << bits, "workload {w} overflows {bits} bits");
+        w
+    };
 
     // Phase 1 (device operation 1): each device checks whether it is a
     // local maximum among its ego-network neighbors. Each edge is compared
@@ -58,7 +81,7 @@ pub fn find_max_workload_device(
     // protocol runs of Alg. 1.
     let mut is_candidate = vec![true; n];
     for (u, v) in g.edges() {
-        match oracle.compare(wl(u), wl(v), WORKLOAD_BITS) {
+        match oracle.compare(wl(u), wl(v), bits) {
             std::cmp::Ordering::Greater => is_candidate[v as usize] = false,
             std::cmp::Ordering::Less => is_candidate[u as usize] = false,
             std::cmp::Ordering::Equal => {}
@@ -80,7 +103,7 @@ pub fn find_max_workload_device(
                 best.push(c);
                 best_wl = Some(wl(c));
             }
-            Some(current) => match oracle.compare(wl(c), current, WORKLOAD_BITS) {
+            Some(current) => match oracle.compare(wl(c), current, bits) {
                 std::cmp::Ordering::Greater => {
                     best.clear();
                     best.push(c);
@@ -160,6 +183,23 @@ mod tests {
             seen.len() > 1,
             "tie-break should vary with server randomness"
         );
+    }
+
+    #[test]
+    fn weighted_costs_move_the_maximum() {
+        // Star with center 0: the hub holds 4 nodes, each leaf 1. A leaf
+        // whose per-node cost dwarfs the hub's total becomes the weighted
+        // maximum even though its tree is the smallest.
+        let edges: Vec<(u32, u32)> = (1..=4).map(|v| (0u32, v)).collect();
+        let g = Graph::from_edges(5, &edges);
+        let unweighted = Assignment::full(&g);
+        assert_eq!(workload_bits(&unweighted), WORKLOAD_BITS);
+        let a = unweighted.with_costs(vec![1, 1_000_000, 1, 1, 1]);
+        assert_eq!(workload_bits(&a), WEIGHTED_WORKLOAD_BITS);
+        let mut oracle = MeteredPlainOracle::new();
+        let out = find_max_workload_device(&g, &a, &mut oracle, &mut rng());
+        assert_eq!(out.device, 1, "the throttled leaf dominates in µs");
+        assert_eq!(a.weighted_workload(out.device), 1_000_000);
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! with Algorithm 3 and the objective difference with the secure-difference
 //! protocol, so no workload is ever revealed in the clear. Theorem 2 bounds
 //! the probability that the chain settles far from the optimum.
+//!
+//! When the assignment carries per-node costs ([`Assignment::with_costs`]),
+//! every workload in the chain is the *weighted* workload `c_u · |N_u|`
+//! (fixed-point virtual µs): Algorithm 3 locates the slowest-in-µs device
+//! and Eq. 18's exponent is normalized by the fleet's mean per-node cost so
+//! the acceptance temperature stays in tree-node units. With unit costs the
+//! normalizer is exactly 1.0 and the chain is bit-identical to the paper's.
 
 use lumos_common::rng::Xoshiro256pp;
 use lumos_crypto::CommMeter;
@@ -60,6 +67,9 @@ pub struct McmcOutcome {
     /// Objective value after each iteration (simulator-side trace for
     /// reporting; devices never see it in the clear).
     pub trace: Vec<usize>,
+    /// Weighted objective (`max_u c_u · |N_u|`, virtual µs) after each
+    /// iteration; equals `trace` element-wise under unit costs.
+    pub weighted_trace: Vec<u64>,
     /// Run statistics.
     pub stats: McmcStats,
 }
@@ -74,8 +84,13 @@ pub fn mcmc_balance(
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
     let mut stats = McmcStats::default();
     let mut trace = Vec::with_capacity(cfg.iterations);
+    let mut weighted_trace = Vec::with_capacity(cfg.iterations);
     let meter_base = oracle.meter();
     let comparisons_base = oracle.comparisons();
+    // Acceptance temperature in tree-node units: 1.0 when unweighted, the
+    // mean per-node cost when weighted (dividing by 1.0 is a bitwise no-op,
+    // so the default objective's RNG stream is untouched).
+    let scale = assignment.cost_scale();
 
     for _ in 0..cfg.iterations {
         stats.iterations += 1;
@@ -88,9 +103,10 @@ pub fn mcmc_balance(
         if wl_u == 0 {
             // Perfectly empty maximum: nothing to balance.
             trace.push(assignment.objective());
+            weighted_trace.push(assignment.weighted_objective());
             continue;
         }
-        let f_old = wl_u as i64;
+        let f_old = assignment.weighted_workload(u) as i64;
 
         // Lines 3–4: sample the step size and the branches to move.
         let k_max = ((wl_u as f64).ln().round() as usize).max(1).min(wl_u);
@@ -110,16 +126,18 @@ pub fn mcmc_balance(
         // Line 6: most-loaded device under X'_t.
         let after = find_max_workload_device(g, &assignment, oracle, &mut rng);
         stats.server.messages += after.server.messages;
-        let f_new = assignment.workload(after.device) as i64;
+        let f_new = assignment.weighted_workload(after.device) as i64;
 
         // Line 7: devices {u, u'} compute f(X_t) − f(X'_t) securely.
         let delta = oracle.difference(f_old, f_new);
 
-        // Line 8 (Eq. 18): Metropolis–Hastings acceptance.
+        // Line 8 (Eq. 18): Metropolis–Hastings acceptance, with the
+        // exponent in mean-per-node-cost units so weighted runs keep the
+        // paper's temperature instead of collapsing to pure descent.
         let accept = if delta >= 0 {
             true
         } else {
-            rng.bernoulli((delta as f64).exp())
+            rng.bernoulli((delta as f64 / scale).exp())
         };
 
         if accept {
@@ -132,6 +150,7 @@ pub fn mcmc_balance(
             }
         }
         trace.push(assignment.objective());
+        weighted_trace.push(assignment.weighted_objective());
     }
 
     stats.secure = oracle.meter().since(&meter_base);
@@ -139,6 +158,7 @@ pub fn mcmc_balance(
     McmcOutcome {
         assignment,
         trace,
+        weighted_trace,
         stats,
     }
 }
@@ -204,6 +224,71 @@ mod tests {
             out.assignment.objective()
         );
         assert!(out.stats.accepted > 0);
+    }
+
+    #[test]
+    fn weighted_chain_strips_the_expensive_device() {
+        // Ring of 12 devices with perfectly balanced node counts (2 each):
+        // the unweighted chain has nothing to do, but device 0's per-node
+        // cost is 1,000× its peers', so the weighted chain must shed its
+        // branches onto the cheap neighbors.
+        let edges: Vec<(u32, u32)> = (0..12u32).map(|v| (v, (v + 1) % 12)).collect();
+        let g = Graph::from_edges(12, &edges);
+        let mut costs = vec![10u64; 12];
+        costs[0] = 10_000;
+        let full = Assignment::full(&g).with_costs(costs);
+        assert_eq!(full.weighted_objective(), 20_000);
+        let mut oracle = MeteredPlainOracle::new();
+        let cfg = McmcConfig {
+            iterations: 60,
+            seed: 12,
+        };
+        let out = mcmc_balance(&g, full, &cfg, &mut oracle);
+        out.assignment.check_feasible(&g).unwrap();
+        assert_eq!(
+            out.assignment.workload(0),
+            0,
+            "the expensive device must end up empty"
+        );
+        assert!(
+            out.assignment.weighted_objective() <= 40,
+            "weighted objective must collapse to the cheap devices, got {}",
+            out.assignment.weighted_objective()
+        );
+        assert_eq!(out.weighted_trace.len(), 60);
+        assert!(out.weighted_trace.last().unwrap() < &20_000);
+    }
+
+    #[test]
+    fn unit_cost_traces_coincide() {
+        let g = powerlaw_graph(150, 5);
+        let run = |costs: Option<Vec<u64>>| {
+            let mut oracle = MeteredPlainOracle::new();
+            let init = match costs {
+                Some(c) => greedy_init(&g, &mut oracle).with_costs(c),
+                None => greedy_init(&g, &mut oracle),
+            };
+            let cfg = McmcConfig {
+                iterations: 40,
+                seed: 77,
+            };
+            (mcmc_balance(&g, init, &cfg, &mut oracle), oracle)
+        };
+        let (plain, plain_oracle) = run(None);
+        let (ones, ones_oracle) = run(Some(vec![1; g.num_nodes()]));
+        // Same chain: identical retained sets, traces, and — because the
+        // all-ones weighted workload *is* the node count — the weighted
+        // trace equals the node-count trace.
+        for v in 0..g.num_nodes() as u32 {
+            assert_eq!(plain.assignment.kept(v), ones.assignment.kept(v));
+        }
+        assert_eq!(plain.trace, ones.trace);
+        assert_eq!(
+            ones.weighted_trace,
+            ones.trace.iter().map(|&x| x as u64).collect::<Vec<_>>()
+        );
+        assert_eq!(plain_oracle.comparisons(), ones_oracle.comparisons());
+        assert_eq!(plain.stats.accepted, ones.stats.accepted);
     }
 
     #[test]

@@ -1,18 +1,58 @@
-//! The workload-balancing problem (Eq. 9–10).
+//! The workload-balancing problem (Eq. 9–10), optionally cost-weighted.
 //!
 //! The decision variable `x_(u,v) = 1` means "device u includes neighbor v
 //! in its tree"; an [`Assignment`] stores the retained-neighbor sets `N_u`.
-//! The objective `f(X) = max_u |N_u|` is minimized subject to every edge
-//! appearing in at least one tree (`x_(u,v) + x_(v,u) ≥ 1`). Theorem 1
+//! The paper's objective `f(X) = max_u |N_u|` is minimized subject to every
+//! edge appearing in at least one tree (`x_(u,v) + x_(v,u) ≥ 1`). Theorem 1
 //! proves the problem NP-hard (reduction to min–max colored TSP), which is
 //! why Lumos approximates it with greedy + MCMC.
+//!
+//! Heterogeneity-aware extension: each device may carry a fixed-point
+//! per-tree-node cost `c_u` (virtual microseconds, from the device's
+//! capability profile), turning the objective into the weighted makespan
+//! `f(X) = max_u c_u · |N_u|`. Costs stay integers so the secure-comparison
+//! circuits operate on them unchanged; the all-ones cost vector degenerates
+//! to the paper's node-count objective bit for bit.
 
 use lumos_graph::Graph;
 
-/// Retained-neighbor sets for every device.
+/// Which quantity the balancer minimizes the maximum of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalanceObjective {
+    /// The paper's objective: tree-node count per device, `max_u |N_u|`.
+    #[default]
+    TreeNodes,
+    /// Capability-weighted objective: virtual seconds per device,
+    /// `max_u c_u · |N_u|` with `c_u` in fixed-point microseconds.
+    VirtualSecs,
+}
+
+impl BalanceObjective {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BalanceObjective::TreeNodes => "tree-nodes",
+            BalanceObjective::VirtualSecs => "virtual-secs",
+        }
+    }
+
+    /// Parses an objective name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "tree-nodes" | "nodes" => Some(BalanceObjective::TreeNodes),
+            "virtual-secs" | "vsecs" => Some(BalanceObjective::VirtualSecs),
+            _ => None,
+        }
+    }
+}
+
+/// Retained-neighbor sets for every device, plus optional per-node costs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     keep: Vec<Vec<u32>>,
+    /// Per-device fixed-point cost (virtual µs) of one retained tree node;
+    /// `None` means the unweighted node-count objective (cost 1 everywhere).
+    costs: Option<Vec<u64>>,
 }
 
 impl Assignment {
@@ -23,6 +63,7 @@ impl Assignment {
             keep: (0..g.num_nodes() as u32)
                 .map(|v| g.neighbors(v).to_vec())
                 .collect(),
+            costs: None,
         }
     }
 
@@ -33,7 +74,43 @@ impl Assignment {
             set.sort_unstable();
             set.dedup();
         }
-        Self { keep }
+        Self { keep, costs: None }
+    }
+
+    /// Attaches per-device tree-node costs (fixed-point virtual µs),
+    /// switching every weighted accessor — and the balancers driven by them
+    /// — to the `max_u c_u · |N_u|` objective.
+    ///
+    /// # Panics
+    /// Panics if the cost vector length differs from the device count or
+    /// any cost is zero (a zero-cost device would absorb the whole graph
+    /// for free and break the fixed-point log encoding).
+    pub fn with_costs(mut self, costs: Vec<u64>) -> Self {
+        assert_eq!(costs.len(), self.keep.len(), "one cost per device");
+        assert!(costs.iter().all(|&c| c >= 1), "costs must be >= 1");
+        self.costs = Some(costs);
+        self
+    }
+
+    /// The per-device costs, if the weighted objective is active.
+    pub fn costs(&self) -> Option<&[u64]> {
+        self.costs.as_deref()
+    }
+
+    /// Cost of one retained tree node on device `u` (1 when unweighted).
+    pub fn node_cost(&self, u: u32) -> u64 {
+        self.costs.as_ref().map_or(1, |c| c[u as usize])
+    }
+
+    /// Mean per-node cost, the natural unit for the MCMC acceptance
+    /// temperature (exactly 1.0 for the unweighted objective, so the
+    /// degenerate case divides by one and stays bit-identical).
+    pub fn cost_scale(&self) -> f64 {
+        match &self.costs {
+            None => 1.0,
+            Some(c) if c.is_empty() => 1.0,
+            Some(c) => c.iter().map(|&x| x as f64).sum::<f64>() / c.len() as f64,
+        }
     }
 
     /// Number of devices.
@@ -59,6 +136,43 @@ impl Assignment {
     /// The objective `f(X) = max_u |N_u|` (0 for an empty system).
     pub fn objective(&self) -> usize {
         self.keep.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Weighted workload of device `u`: `c_u · |N_u|` virtual µs (reduces
+    /// to the node count when no costs are attached).
+    ///
+    /// # Panics
+    /// Panics if `c_u · |N_u|` exceeds `i64::MAX` — the secure-difference
+    /// protocol subtracts workloads as signed 64-bit values, and a wrapped
+    /// product would silently balance on garbage. Profile-derived costs are
+    /// clamped far below this; only extreme caller-supplied costs hit it.
+    pub fn weighted_workload(&self, u: u32) -> u64 {
+        match self
+            .node_cost(u)
+            .checked_mul(self.keep[u as usize].len() as u64)
+        {
+            Some(w) if w <= i64::MAX as u64 => w,
+            _ => panic!(
+                "weighted workload c_u * |N_u| overflows on device {u}; \
+                 use smaller fixed-point costs"
+            ),
+        }
+    }
+
+    /// All weighted workloads.
+    pub fn weighted_workloads(&self) -> Vec<u64> {
+        (0..self.keep.len() as u32)
+            .map(|u| self.weighted_workload(u))
+            .collect()
+    }
+
+    /// The weighted objective `f(X) = max_u c_u · |N_u|` (0 for an empty
+    /// system).
+    pub fn weighted_objective(&self) -> u64 {
+        (0..self.keep.len() as u32)
+            .map(|u| self.weighted_workload(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether `v ∈ N_u`.
@@ -185,6 +299,76 @@ mod tests {
         // Device keeps a non-neighbor.
         let b = Assignment::from_sets(vec![vec![3], vec![0, 2], vec![3], vec![]]);
         assert!(b.check_feasible(&g).is_err());
+    }
+
+    #[test]
+    fn objective_names_round_trip() {
+        for o in [BalanceObjective::TreeNodes, BalanceObjective::VirtualSecs] {
+            assert_eq!(BalanceObjective::parse(o.name()), Some(o));
+        }
+        assert_eq!(
+            BalanceObjective::parse("nodes"),
+            Some(BalanceObjective::TreeNodes)
+        );
+        assert_eq!(
+            BalanceObjective::parse("VSECS"),
+            Some(BalanceObjective::VirtualSecs)
+        );
+        assert_eq!(BalanceObjective::parse("nope"), None);
+        assert_eq!(BalanceObjective::default(), BalanceObjective::TreeNodes);
+    }
+
+    #[test]
+    fn weighted_accessors_reduce_to_counts_without_costs() {
+        let g = path_graph();
+        let a = Assignment::full(&g);
+        assert_eq!(a.costs(), None);
+        assert_eq!(a.cost_scale(), 1.0);
+        assert_eq!(a.weighted_workloads(), vec![1, 2, 2, 1]);
+        assert_eq!(a.weighted_objective(), 2);
+        for u in 0..4u32 {
+            assert_eq!(a.weighted_workload(u), a.workload(u) as u64);
+        }
+    }
+
+    #[test]
+    fn costs_weight_the_objective() {
+        let g = path_graph();
+        let a = Assignment::full(&g).with_costs(vec![100, 1, 1, 7]);
+        assert_eq!(a.weighted_workloads(), vec![100, 2, 2, 7]);
+        assert_eq!(a.weighted_objective(), 100);
+        // Node-count views are unchanged by costs.
+        assert_eq!(a.objective(), 2);
+        assert!((a.cost_scale() - 27.25).abs() < 1e-12);
+        // Transfers preserve the cost vector.
+        let mut b = a.clone();
+        assert!(b.transfer(0, 1));
+        assert_eq!(b.costs(), Some(&[100u64, 1, 1, 7][..]));
+        assert_eq!(b.weighted_workload(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per device")]
+    fn mismatched_cost_length_panics() {
+        let g = path_graph();
+        let _ = Assignment::full(&g).with_costs(vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "costs must be >= 1")]
+    fn zero_cost_panics() {
+        let g = path_graph();
+        let _ = Assignment::full(&g).with_costs(vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows on device 1")]
+    fn overflowing_weighted_workload_panics() {
+        // Device 1 keeps 2 neighbors; u64::MAX · 2 would wrap silently in
+        // release and balance on garbage — it must panic instead.
+        let g = path_graph();
+        let a = Assignment::full(&g).with_costs(vec![1, u64::MAX, 1, 1]);
+        let _ = a.weighted_workload(1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ fn smoke_args() -> HarnessArgs {
         scale: Scale::Smoke,
         seed: 1,
         quick: true,
+        json: None,
     }
 }
 

@@ -3,7 +3,7 @@
 use lumos_data::Scale;
 
 /// Parsed harness arguments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Experiment scale.
     pub scale: Scale,
@@ -11,6 +11,9 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Quick mode: fewer epochs (for CI-style smoke runs).
     pub quick: bool,
+    /// Where to write the machine-readable result record, for binaries
+    /// that emit one (`fig8_hetero` → `BENCH_fig8.json` by default).
+    pub json: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -19,6 +22,7 @@ impl Default for HarnessArgs {
             scale: Scale::Small,
             seed: 2023,
             quick: false,
+            json: None,
         }
     }
 }
@@ -48,6 +52,13 @@ impl HarnessArgs {
                         .unwrap_or_else(|_| usage(&format!("bad seed '{v}'")));
                 }
                 "--quick" => out.quick = true,
+                "--json" => {
+                    let v = it.next().unwrap_or_else(|| usage("--json needs a path"));
+                    if v.starts_with("--") {
+                        usage(&format!("--json needs a path, got flag '{v}'"));
+                    }
+                    out.json = Some(v);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -60,7 +71,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--scale smoke|small|paper] [--seed N] [--quick]");
+    eprintln!("usage: <experiment> [--scale smoke|small|paper] [--seed N] [--quick] [--json PATH]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -73,13 +84,17 @@ mod tests {
         let d = HarnessArgs::parse_from(Vec::<String>::new());
         assert_eq!(d.scale, Scale::Small);
         assert!(!d.quick);
+        assert_eq!(d.json, None);
         let p = HarnessArgs::parse_from(
-            ["--scale", "smoke", "--seed", "7", "--quick"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale", "smoke", "--seed", "7", "--quick", "--json", "out.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(p.scale, Scale::Smoke);
         assert_eq!(p.seed, 7);
         assert!(p.quick);
+        assert_eq!(p.json.as_deref(), Some("out.json"));
     }
 }

@@ -1,8 +1,18 @@
 //! Scenario sweep: simulated epoch makespan across heterogeneous-device
-//! fleets, with vs without tree trimming (Figure 8 extension).
+//! fleets — trimmed under both balance objectives (tree nodes vs virtual
+//! seconds) and untrimmed (Figure 8 extension). Also writes the
+//! machine-readable `BENCH_fig8.json` record (`--json PATH` to relocate).
 use lumos_bench::{hetero, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
-    hetero::table(&hetero::run(&args)).print();
+    let rows = hetero::run(&args);
+    hetero::table(&rows).print();
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_fig8.json".into());
+    let json = hetero::to_json(&rows, &args);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
 }

@@ -130,6 +130,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 5,
             quick: false,
+            json: None,
         };
         let rows = run(&args);
         assert_eq!(rows.len(), 4);

@@ -98,6 +98,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 3,
             quick: false,
+            json: None,
         };
         let ds = lumos_data::Dataset::lastfm_like(Scale::Smoke);
         let rows = eval_dataset(&ds, &args);

@@ -93,6 +93,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 1,
             quick: false,
+            json: None,
         };
         let ds = lumos_data::Dataset::facebook_like(Scale::Smoke);
         let series = eval_dataset(&ds, &args);

@@ -26,10 +26,22 @@ pub fn run(args: &HarnessArgs) -> Vec<Fig7Result> {
         .into_iter()
         .map(|ds: Dataset| {
             let mcmc = mcmc_iterations_for(args.scale, &ds.name);
-            let (_, trimmed_rep) =
-                construct_assignment(&ds.graph, true, mcmc, SecurityMode::CostModel, args.seed);
-            let (_, full_rep) =
-                construct_assignment(&ds.graph, false, 0, SecurityMode::CostModel, args.seed);
+            let (_, trimmed_rep) = construct_assignment(
+                &ds.graph,
+                true,
+                mcmc,
+                SecurityMode::CostModel,
+                args.seed,
+                None,
+            );
+            let (_, full_rep) = construct_assignment(
+                &ds.graph,
+                false,
+                0,
+                SecurityMode::CostModel,
+                args.seed,
+                None,
+            );
             Fig7Result {
                 dataset: ds.name,
                 trimmed: Ecdf::new(trimmed_rep.workloads.iter().map(|&w| w as f64).collect()),
@@ -83,6 +95,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 4,
             quick: false,
+            json: None,
         };
         let results = run(&args);
         assert_eq!(results.len(), 2);

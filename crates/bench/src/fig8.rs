@@ -123,6 +123,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 8,
             quick: false,
+            json: None,
         };
         let ds = lumos_data::Dataset::facebook_like(Scale::Smoke);
         let rows = eval_dataset(&ds, &args);

@@ -2,14 +2,20 @@
 //!
 //! The paper evaluates tree trimming on identical devices (Fig. 8). This
 //! sweep replays the same workload through `lumos-sim` under each
-//! [`Scenario`] preset and reports the simulated epoch makespan with and
-//! without trimming. Two claims become measurable: the makespan ordering
-//! `Uniform < StragglerTail` for the same workload, and the growth of
+//! [`Scenario`] preset and reports the simulated epoch makespan three ways:
+//! trimmed under the paper's node-count objective, trimmed under the
+//! capability-weighted [`BalanceObjective::VirtualSecs`] objective, and
+//! untrimmed. Three claims become measurable: the makespan ordering
+//! `Uniform < StragglerTail` for the same workload, the growth of
 //! trimming's win as capability heterogeneity compounds the degree
-//! heterogeneity the trimmer targets.
+//! heterogeneity the trimmer targets, and the additional win of balancing
+//! virtual seconds instead of tree nodes once devices stop being equals.
+//!
+//! [`to_json`] renders the sweep as the machine-readable `BENCH_fig8.json`
+//! record the perf-trajectory tooling consumes.
 
 use lumos_common::table::{fmt2, Table};
-use lumos_core::{run_lumos, LumosConfig, SimSummary, TaskKind};
+use lumos_core::{run_lumos, BalanceObjective, LumosConfig, SimSummary, TaskKind};
 use lumos_data::Dataset;
 use lumos_gnn::Backbone;
 use lumos_sim::Scenario;
@@ -17,54 +23,76 @@ use lumos_sim::Scenario;
 use crate::args::HarnessArgs;
 use crate::presets::{mcmc_iterations_for, run_pair};
 
-/// One scenario's cost comparison (trimmed vs untrimmed).
+/// One scenario's cost comparison (two trimmed objectives vs untrimmed).
 #[derive(Debug, Clone)]
 pub struct HeteroRow {
     /// Dataset name.
     pub dataset: String,
     /// Device scenario.
     pub scenario: Scenario,
-    /// Simulated seconds per epoch with tree trimming.
-    pub makespan_trimmed: f64,
+    /// Simulated seconds per epoch, trimmed, node-count objective.
+    pub makespan_tree_nodes: f64,
+    /// Simulated seconds per epoch, trimmed, virtual-seconds objective.
+    pub makespan_virtual_secs: f64,
     /// Simulated seconds per epoch without tree trimming.
     pub makespan_untrimmed: f64,
-    /// Mean device utilization with trimming.
-    pub utilization_trimmed: f64,
+    /// Mean device utilization under the node-count objective.
+    pub utilization_tree_nodes: f64,
+    /// Mean device utilization under the virtual-seconds objective.
+    pub utilization_virtual_secs: f64,
     /// Mean device utilization without trimming.
     pub utilization_untrimmed: f64,
-    /// Most frequent straggler (device id, epochs straggled) with trimming.
+    /// Most frequent straggler (device id, epochs straggled) under the
+    /// node-count objective.
     pub dominant_straggler: Option<(u32, usize)>,
     /// Device-rounds lost to churn.
     pub dropped_device_rounds: u64,
 }
 
 impl HeteroRow {
-    /// Percentage of simulated epoch time trimming saves in this scenario.
+    /// Percentage of simulated epoch time trimming saves in this scenario
+    /// (node-count objective vs untrimmed).
     pub fn saved_pct(&self) -> f64 {
         if self.makespan_untrimmed == 0.0 {
             0.0
         } else {
-            (self.makespan_untrimmed - self.makespan_trimmed) / self.makespan_untrimmed * 100.0
+            (self.makespan_untrimmed - self.makespan_tree_nodes) / self.makespan_untrimmed * 100.0
         }
     }
 
     /// Absolute simulated seconds per epoch trimming saves — the win that
     /// grows as capability heterogeneity compounds degree heterogeneity.
     pub fn saved_secs(&self) -> f64 {
-        self.makespan_untrimmed - self.makespan_trimmed
+        self.makespan_untrimmed - self.makespan_tree_nodes
+    }
+
+    /// Absolute seconds per epoch the weighted objective saves on top of
+    /// node-count trimming (positive when capability-awareness pays).
+    pub fn weighted_win_secs(&self) -> f64 {
+        self.makespan_tree_nodes - self.makespan_virtual_secs
     }
 }
 
 /// Epochs per measurement: makespan statistics stabilize quickly and do
-/// not depend on convergence.
-const COST_EPOCHS: usize = 8;
-
-fn summary(ds: &Dataset, base: &LumosConfig, trim: bool) -> SimSummary {
-    let cfg = if trim {
-        base.clone()
+/// not depend on convergence. Quick mode halves the window for CI smoke.
+fn cost_epochs(quick: bool) -> usize {
+    if quick {
+        4
     } else {
-        base.clone().without_tree_trimming()
-    };
+        8
+    }
+}
+
+fn summary(
+    ds: &Dataset,
+    base: &LumosConfig,
+    objective: BalanceObjective,
+    trim: bool,
+) -> SimSummary {
+    let mut cfg = base.clone().with_balance_objective(objective);
+    if !trim {
+        cfg = cfg.without_tree_trimming();
+    }
     run_lumos(ds, &cfg)
         .sim
         .expect("scenario configs always produce a sim summary")
@@ -72,27 +100,44 @@ fn summary(ds: &Dataset, base: &LumosConfig, trim: bool) -> SimSummary {
 
 fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> HeteroRow {
     let base = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
-        .with_epochs(COST_EPOCHS)
+        .with_epochs(cost_epochs(args.quick))
         .with_mcmc_iterations(mcmc_iterations_for(args.scale, &ds.name))
         .with_seed(args.seed)
         .with_scenario(scenario);
-    let (trimmed, untrimmed) = run_pair(|| summary(ds, &base, true), || summary(ds, &base, false));
+    let (tree_nodes, (virtual_secs, untrimmed)) = run_pair(
+        || summary(ds, &base, BalanceObjective::TreeNodes, true),
+        || {
+            run_pair(
+                || summary(ds, &base, BalanceObjective::VirtualSecs, true),
+                || summary(ds, &base, BalanceObjective::TreeNodes, false),
+            )
+        },
+    );
     HeteroRow {
         dataset: ds.name.clone(),
         scenario,
-        makespan_trimmed: trimmed.avg_epoch_virtual_secs,
+        makespan_tree_nodes: tree_nodes.avg_epoch_virtual_secs,
+        makespan_virtual_secs: virtual_secs.avg_epoch_virtual_secs,
         makespan_untrimmed: untrimmed.avg_epoch_virtual_secs,
-        utilization_trimmed: trimmed.mean_utilization,
+        utilization_tree_nodes: tree_nodes.mean_utilization,
+        utilization_virtual_secs: virtual_secs.mean_utilization,
         utilization_untrimmed: untrimmed.mean_utilization,
-        dominant_straggler: trimmed.dominant_straggler(),
-        dropped_device_rounds: trimmed.dropped_device_rounds,
+        dominant_straggler: tree_nodes.dominant_straggler(),
+        dropped_device_rounds: tree_nodes.dropped_device_rounds,
     }
 }
 
-/// Runs the scenario sweep on the primary dataset.
+/// Runs the scenario sweep on the primary dataset. Quick mode restricts
+/// the sweep to the two scenarios the CI smoke gate asserts on (uniform
+/// and the straggler tail).
 pub fn run(args: &HarnessArgs) -> Vec<HeteroRow> {
     let ds = Dataset::facebook_like(args.scale);
-    Scenario::ALL
+    let scenarios: &[Scenario] = if args.quick {
+        &[Scenario::Uniform, Scenario::StragglerTail]
+    } else {
+        &Scenario::ALL
+    };
+    scenarios
         .iter()
         .map(|&s| eval_scenario(&ds, s, args))
         .collect()
@@ -101,16 +146,18 @@ pub fn run(args: &HarnessArgs) -> Vec<HeteroRow> {
 /// Renders the sweep as one table row per scenario.
 pub fn table(rows: &[HeteroRow]) -> Table {
     let mut t = Table::new(
-        "Figure 8 (hetero): simulated epoch makespan by device scenario",
+        "Figure 8 (hetero): simulated epoch makespan by device scenario and balance objective",
         &[
             "dataset",
             "scenario",
-            "epoch secs (sim)",
+            "epoch secs (nodes)",
+            "epoch secs (vsecs)",
             "epoch secs w.o. TT",
+            "vsecs win",
             "saved secs",
             "saved %",
-            "utilization",
-            "util w.o. TT",
+            "util (nodes)",
+            "util (vsecs)",
             "top straggler",
             "dropped dev-rounds",
         ],
@@ -119,18 +166,88 @@ pub fn table(rows: &[HeteroRow]) -> Table {
         t.push_row([
             r.dataset.clone(),
             r.scenario.name().to_string(),
-            fmt2(r.makespan_trimmed),
+            fmt2(r.makespan_tree_nodes),
+            fmt2(r.makespan_virtual_secs),
             fmt2(r.makespan_untrimmed),
+            fmt2(r.weighted_win_secs()),
             fmt2(r.saved_secs()),
             fmt2(r.saved_pct()),
-            fmt2(r.utilization_trimmed),
-            fmt2(r.utilization_untrimmed),
+            fmt2(r.utilization_tree_nodes),
+            fmt2(r.utilization_virtual_secs),
             r.dominant_straggler
                 .map_or("n/a".to_string(), |(d, c)| format!("dev {d} ×{c}")),
             r.dropped_device_rounds.to_string(),
         ]);
     }
     t
+}
+
+/// A finite `f64` as a JSON number (`null` for NaN/∞, which JSON lacks).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A string as a JSON string literal (names here are ASCII identifiers;
+/// escape the two characters that could break the quoting anyway).
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Renders the sweep as the machine-readable `BENCH_fig8.json` document:
+/// per-scenario, per-objective mean epoch makespans plus the derived wins,
+/// keyed by scale and seed so perf trajectories can be diffed run to run.
+pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fig8_hetero\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", json_str(args.scale.name())));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"quick\": {},\n", args.quick));
+    out.push_str("  \"rows\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let straggler = r
+                .dominant_straggler
+                .map_or("null".to_string(), |(d, _)| d.to_string());
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"dataset\": {},\n",
+                    "      \"scenario\": {},\n",
+                    "      \"makespan_tree_nodes\": {},\n",
+                    "      \"makespan_virtual_secs\": {},\n",
+                    "      \"makespan_untrimmed\": {},\n",
+                    "      \"weighted_win_secs\": {},\n",
+                    "      \"saved_secs\": {},\n",
+                    "      \"utilization_tree_nodes\": {},\n",
+                    "      \"utilization_virtual_secs\": {},\n",
+                    "      \"utilization_untrimmed\": {},\n",
+                    "      \"dominant_straggler\": {},\n",
+                    "      \"dropped_device_rounds\": {}\n",
+                    "    }}"
+                ),
+                json_str(&r.dataset),
+                json_str(r.scenario.name()),
+                json_num(r.makespan_tree_nodes),
+                json_num(r.makespan_virtual_secs),
+                json_num(r.makespan_untrimmed),
+                json_num(r.weighted_win_secs()),
+                json_num(r.saved_secs()),
+                json_num(r.utilization_tree_nodes),
+                json_num(r.utilization_virtual_secs),
+                json_num(r.utilization_untrimmed),
+                straggler,
+                r.dropped_device_rounds,
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -143,6 +260,7 @@ mod tests {
             scale: Scale::Smoke,
             seed: 8,
             quick: false,
+            json: None,
         }
     }
 
@@ -154,18 +272,18 @@ mod tests {
         let tail = eval_scenario(&ds, Scenario::StragglerTail, &args);
         // Same workload, slower tail ⇒ strictly larger simulated makespan.
         assert!(
-            uniform.makespan_trimmed < tail.makespan_trimmed,
+            uniform.makespan_tree_nodes < tail.makespan_tree_nodes,
             "uniform {} must undercut straggler-tail {}",
-            uniform.makespan_trimmed,
-            tail.makespan_trimmed
+            uniform.makespan_tree_nodes,
+            tail.makespan_tree_nodes
         );
         // Trimming reduces the simulated makespan in both regimes.
         for r in [&uniform, &tail] {
             assert!(
-                r.makespan_trimmed < r.makespan_untrimmed,
+                r.makespan_tree_nodes < r.makespan_untrimmed,
                 "{}: trimmed {} vs untrimmed {}",
                 r.scenario.name(),
-                r.makespan_trimmed,
+                r.makespan_tree_nodes,
                 r.makespan_untrimmed
             );
             assert!(r.saved_pct() > 0.0);
@@ -179,6 +297,59 @@ mod tests {
             tail.saved_secs(),
             uniform.saved_secs()
         );
+        // The weighted objective strictly beats node counts once devices
+        // stop being equals: the slow tail sheds tree nodes priced in µs.
+        assert!(
+            tail.makespan_virtual_secs < tail.makespan_tree_nodes,
+            "straggler-tail: virtual-secs {} must beat tree-nodes {}",
+            tail.makespan_virtual_secs,
+            tail.makespan_tree_nodes
+        );
         assert_eq!(table(&[uniform, tail]).len(), 2);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let args = smoke_args();
+        let rows = vec![
+            HeteroRow {
+                dataset: "facebook-smoke".into(),
+                scenario: Scenario::Uniform,
+                makespan_tree_nodes: 10.25,
+                makespan_virtual_secs: 10.25,
+                makespan_untrimmed: 20.5,
+                utilization_tree_nodes: 0.8,
+                utilization_virtual_secs: 0.8,
+                utilization_untrimmed: 0.5,
+                dominant_straggler: Some((3, 5)),
+                dropped_device_rounds: 0,
+            },
+            HeteroRow {
+                dataset: "facebook-smoke".into(),
+                scenario: Scenario::StragglerTail,
+                makespan_tree_nodes: 40.0,
+                makespan_virtual_secs: 31.5,
+                makespan_untrimmed: 90.0,
+                utilization_tree_nodes: 0.3,
+                utilization_virtual_secs: 0.4,
+                utilization_untrimmed: 0.2,
+                dominant_straggler: None,
+                dropped_device_rounds: 7,
+            },
+        ];
+        let json = to_json(&rows, &args);
+        // Structural sanity without a JSON parser in the tree: balanced
+        // delimiters, both scenario rows present, nulls where expected.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"fig8_hetero\""));
+        assert!(json.contains("\"scenario\": \"straggler-tail\""));
+        assert!(json.contains("\"dominant_straggler\": null"));
+        assert!(json.contains("\"weighted_win_secs\": 8.5"));
+        assert!(json.ends_with("}\n"));
     }
 }

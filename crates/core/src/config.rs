@@ -1,6 +1,6 @@
 //! Configuration of a Lumos run.
 
-use lumos_balance::SecurityMode;
+use lumos_balance::{BalanceObjective, SecurityMode};
 use lumos_gnn::Backbone;
 use lumos_sim::Scenario;
 
@@ -64,6 +64,11 @@ pub struct LumosConfig {
     /// simulator and the report carries a [`crate::report::SimSummary`].
     /// Timing overlay only — the training math is unchanged.
     pub scenario: Option<Scenario>,
+    /// What the tree constructor balances: the paper's tree-node count, or
+    /// capability-weighted virtual seconds. `VirtualSecs` needs a
+    /// `scenario` (the fleet profiles are where the per-node µs prices come
+    /// from) and falls back to `TreeNodes` without one.
+    pub balance_objective: BalanceObjective,
 }
 
 impl LumosConfig {
@@ -92,6 +97,7 @@ impl LumosConfig {
             negatives_per_positive: 1,
             eval_every: 10,
             scenario: None,
+            balance_objective: BalanceObjective::TreeNodes,
         }
     }
 
@@ -136,6 +142,12 @@ impl LumosConfig {
         self.scenario = Some(scenario);
         self
     }
+
+    /// Builder-style: choose what the tree constructor balances.
+    pub fn with_balance_objective(mut self, objective: BalanceObjective) -> Self {
+        self.balance_objective = objective;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +160,7 @@ mod tests {
         assert_eq!(c.epsilon, 2.0);
         assert_eq!(c.lr, 0.01);
         assert!(c.virtual_nodes && c.tree_trimming);
+        assert_eq!(c.balance_objective, BalanceObjective::TreeNodes);
         assert_eq!(TaskKind::Supervised.metric_name(), "accuracy");
         assert_eq!(TaskKind::Unsupervised.metric_name(), "roc-auc");
     }
@@ -160,6 +173,7 @@ mod tests {
             .with_seed(9)
             .with_mcmc_iterations(50)
             .with_scenario(Scenario::StragglerTail)
+            .with_balance_objective(BalanceObjective::VirtualSecs)
             .without_virtual_nodes()
             .without_tree_trimming();
         assert_eq!(c.epsilon, 0.5);
@@ -167,6 +181,7 @@ mod tests {
         assert_eq!(c.seed, 9);
         assert_eq!(c.mcmc_iterations, 50);
         assert_eq!(c.scenario, Some(Scenario::StragglerTail));
+        assert_eq!(c.balance_objective, BalanceObjective::VirtualSecs);
         assert!(!c.virtual_nodes && !c.tree_trimming);
     }
 

@@ -2,7 +2,9 @@
 //! followed by MCMC trimming, or the untrimmed full assignment for the
 //! "w.o. TT" ablation.
 
-use lumos_balance::{greedy_init, make_oracle, mcmc_balance, Assignment, McmcConfig, SecurityMode};
+use lumos_balance::{
+    greedy_init_weighted, make_oracle, mcmc_balance, Assignment, McmcConfig, SecurityMode,
+};
 use lumos_common::timer::Stopwatch;
 use lumos_graph::Graph;
 
@@ -12,12 +14,18 @@ use crate::report::ConstructorReport;
 ///
 /// With `trimming` enabled this is Algorithm 1 + Algorithm 2 (both under
 /// secure comparisons); otherwise every device keeps its full ego network.
+///
+/// `node_costs` switches the balancers to the capability-weighted
+/// `VirtualSecs` objective: one fixed-point µs price per device-tree-node
+/// (see `DeviceProfile::micros_per_tree_node`). `None` is the paper's
+/// node-count objective, bit-identical to the historical behavior.
 pub fn construct_assignment(
     g: &Graph,
     trimming: bool,
     mcmc_iterations: usize,
     security: SecurityMode,
     seed: u64,
+    node_costs: Option<&[u64]>,
 ) -> (Assignment, ConstructorReport) {
     let mut sw = Stopwatch::started();
     let untrimmed_max = g.max_degree();
@@ -26,8 +34,10 @@ pub fn construct_assignment(
         sw.stop();
         let report = ConstructorReport {
             trimmed: false,
+            weighted: false,
             workloads: assignment.workloads(),
             max_workload: assignment.objective(),
+            max_weighted_workload: assignment.weighted_objective(),
             untrimmed_max,
             wall_secs: sw.secs(),
             ..Default::default()
@@ -36,7 +46,7 @@ pub fn construct_assignment(
     }
 
     let mut oracle = make_oracle(security, seed);
-    let init = greedy_init(g, oracle.as_mut());
+    let init = greedy_init_weighted(g, node_costs, oracle.as_mut());
     let mcmc_cfg = McmcConfig {
         iterations: mcmc_iterations,
         seed: seed ^ 0x5EED,
@@ -47,8 +57,10 @@ pub fn construct_assignment(
     debug_assert!(outcome.assignment.check_feasible(g).is_ok());
     let report = ConstructorReport {
         trimmed: true,
+        weighted: node_costs.is_some(),
         workloads: outcome.assignment.workloads(),
         max_workload: outcome.assignment.objective(),
+        max_weighted_workload: outcome.assignment.weighted_objective(),
         untrimmed_max,
         secure_comm: oracle.meter(),
         comparisons: oracle.comparisons(),
@@ -74,8 +86,9 @@ mod tests {
     #[test]
     fn trimming_cuts_the_maximum_workload() {
         let g = graph();
-        let (trimmed, rep) = construct_assignment(&g, true, 150, SecurityMode::CostModel, 3);
-        let (full, rep_full) = construct_assignment(&g, false, 150, SecurityMode::CostModel, 3);
+        let (trimmed, rep) = construct_assignment(&g, true, 150, SecurityMode::CostModel, 3, None);
+        let (full, rep_full) =
+            construct_assignment(&g, false, 150, SecurityMode::CostModel, 3, None);
         trimmed.check_feasible(&g).unwrap();
         full.check_feasible(&g).unwrap();
         assert_eq!(rep_full.max_workload, g.max_degree());
@@ -96,7 +109,7 @@ mod tests {
     #[test]
     fn trimming_reduces_total_workload_towards_edge_count() {
         let g = graph();
-        let (trimmed, _) = construct_assignment(&g, true, 50, SecurityMode::CostModel, 7);
+        let (trimmed, _) = construct_assignment(&g, true, 50, SecurityMode::CostModel, 7, None);
         let total = trimmed.total_workload();
         assert!(total >= g.num_edges(), "coverage requires ≥ |E|");
         assert!(
@@ -109,8 +122,39 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = graph();
-        let (a1, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11);
-        let (a2, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11);
+        let (a1, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11, None);
+        let (a2, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11, None);
         assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn weighted_construction_shifts_load_off_expensive_devices() {
+        let g = graph();
+        // Price the top-degree device 500× its peers: the weighted
+        // constructor must give it a materially smaller tree than the
+        // node-count constructor does.
+        let hub = (0..g.num_nodes() as u32)
+            .max_by_key(|&v| g.degree(v))
+            .unwrap();
+        let mut costs = vec![10u64; g.num_nodes()];
+        costs[hub as usize] = 5_000;
+        let (plain, rep_plain) =
+            construct_assignment(&g, true, 150, SecurityMode::CostModel, 3, None);
+        let (weighted, rep) =
+            construct_assignment(&g, true, 150, SecurityMode::CostModel, 3, Some(&costs));
+        weighted.check_feasible(&g).unwrap();
+        // The report says which objective actually ran — the signal that a
+        // VirtualSecs request degenerated (no costs ⇒ weighted = false).
+        assert!(rep.weighted);
+        assert!(!rep_plain.weighted);
+        assert!(
+            weighted.workload(hub) < plain.workload(hub),
+            "weighted: hub kept {} nodes, node-count: {}",
+            weighted.workload(hub),
+            plain.workload(hub)
+        );
+        // The report's weighted objective is in µs, not node counts.
+        assert_eq!(rep.max_weighted_workload, weighted.weighted_objective());
+        assert!(rep.max_weighted_workload >= rep.max_workload as u64 * 10);
     }
 }

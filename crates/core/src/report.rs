@@ -19,10 +19,18 @@ pub struct EpochMetrics {
 pub struct ConstructorReport {
     /// Whether trimming ran (false for "w.o. TT").
     pub trimmed: bool,
+    /// Whether the balancers actually ran cost-weighted. False when the
+    /// `VirtualSecs` objective silently degenerated to node counts because
+    /// no scenario supplied device profiles — check this before citing
+    /// weighted-balancing numbers.
+    pub weighted: bool,
     /// Workload per device after construction (Fig. 7's trimmed series).
     pub workloads: Vec<usize>,
     /// Objective `max_u wl(u)` after construction.
     pub max_workload: usize,
+    /// Weighted objective `max_u c_u·|N_u|` (fixed-point µs) after
+    /// construction; equals `max_workload` under the node-count objective.
+    pub max_weighted_workload: u64,
     /// Objective before trimming (= max degree).
     pub untrimmed_max: usize,
     /// Secure-comparison communication (greedy + MCMC + Alg. 3).

@@ -8,6 +8,7 @@
 
 use std::rc::Rc;
 
+use lumos_balance::BalanceObjective;
 use lumos_common::rng::Xoshiro256pp;
 use lumos_data::{Dataset, EdgeSplit, NodeSplit};
 use lumos_fed::{CostModel, Runtime};
@@ -57,6 +58,26 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         }
     };
 
+    // Fleet and runtime come up before the constructor so the VirtualSecs
+    // objective can price each device's tree nodes. The fleet draws from
+    // its own seed-derived RNG stream, so enabling a scenario changes
+    // timing statistics (and, under VirtualSecs, tree placement) only —
+    // never the trainer's stochastic streams.
+    let mut runtime = Runtime::new(n, CostModel::default());
+    let mut scenario = cfg.scenario.map(|s| ScenarioState::new(s, n, cfg.seed));
+    if let Some(state) = &scenario {
+        runtime.set_profiles(state.profiles().to_vec());
+    }
+    let enc_cfg = EncoderConfig::paper(cfg.backbone, ds.feature_dim);
+    let node_costs = match cfg.balance_objective {
+        BalanceObjective::TreeNodes => None,
+        // Without a scenario there are no profiles to price with, so this
+        // silently degenerates to the node-count objective.
+        BalanceObjective::VirtualSecs => {
+            runtime.node_costs_micros(enc_cfg.num_layers, EMBEDDING_BYTES)
+        }
+    };
+
     // Phase 1: heterogeneity-aware tree constructor (§V).
     let (assignment, constructor) = construct_assignment(
         &train_graph,
@@ -64,6 +85,7 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         cfg.mcmc_iterations,
         cfg.security,
         cfg.seed,
+        node_costs.as_deref(),
     );
 
     let kind = if cfg.virtual_nodes {
@@ -76,11 +98,6 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         .collect();
 
     // Phase 2: LDP embedding initialization (§VI-A).
-    let mut runtime = Runtime::new(n, CostModel::default());
-    // Optional heterogeneous-device overlay: the fleet draws from its own
-    // seed-derived RNG stream, so enabling a scenario changes timing
-    // statistics only — never the training math.
-    let mut scenario = cfg.scenario.map(|s| ScenarioState::new(s, n, cfg.seed));
     let exchange = exchange_features(
         &ds.features,
         ds.feature_dim,
@@ -94,7 +111,6 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
 
     // Phase 3: model setup (§VIII-B hyperparameters).
     let mut store = ParamStore::new();
-    let enc_cfg = EncoderConfig::paper(cfg.backbone, ds.feature_dim);
     let encoder = GnnEncoder::new(&mut store, &enc_cfg, &mut rng);
     let decoder = match cfg.task {
         TaskKind::Supervised => Some(LinearDecoder::new(

@@ -37,6 +37,15 @@ impl Scale {
             _ => None,
         }
     }
+
+    /// Display name (the inverse of [`Scale::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Smoke => "smoke",
+            Self::Small => "small",
+            Self::Paper => "paper",
+        }
+    }
 }
 
 /// Generation parameters for a synthetic dataset.

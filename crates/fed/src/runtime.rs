@@ -81,6 +81,19 @@ impl Runtime {
         self.profiles.as_deref()
     }
 
+    /// Per-device fixed-point tree-node costs (virtual µs) derived from the
+    /// installed profiles — the price vector the `VirtualSecs` balance
+    /// objective feeds to the tree constructor. `None` on the plain
+    /// cost-model path, where every device is interchangeable and the
+    /// node-count objective is exact.
+    pub fn node_costs_micros(&self, layers: usize, embedding_bytes: u64) -> Option<Vec<u64>> {
+        self.profiles.as_ref().map(|ps| {
+            ps.iter()
+                .map(|p| p.micros_per_tree_node(layers, embedding_bytes))
+                .collect()
+        })
+    }
+
     /// The cost model in use.
     pub fn cost_model(&self) -> CostModel {
         self.cost_model
@@ -281,6 +294,19 @@ mod tests {
         assert!(rt.mean_sim_utilization() > 0.0 && rt.mean_sim_utilization() <= 1.0);
         // The global model still prices both devices identically.
         assert!((rec.timing.makespan - rec.timing.mean_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_costs_follow_profiles() {
+        let mut rt = Runtime::new(2, CostModel::default());
+        assert_eq!(rt.node_costs_micros(2, 64), None);
+        let mut profiles = vec![DeviceProfile::baseline(); 2];
+        profiles[1].compute_rate /= 10.0;
+        rt.set_profiles(profiles.clone());
+        let costs = rt.node_costs_micros(2, 64).expect("profiles installed");
+        assert_eq!(costs.len(), 2);
+        assert_eq!(costs[0], profiles[0].micros_per_tree_node(2, 64));
+        assert!(costs[1] > costs[0], "slower device must cost more µs/node");
     }
 
     #[test]

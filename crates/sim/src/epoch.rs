@@ -2,11 +2,15 @@
 //!
 //! Each available device computes its local update, serializes its outbound
 //! messages through its uplink (the burst's last message lands one
-//! propagation latency after the upload completes), and drains its inbound
-//! payload through its downlink. Up- and downlink are full-duplex, so they overlap each other
-//! (and the latency tail) but never the device's own compute. The epoch is
-//! synchronous (§IV-B): it ends when the last event fires, and the device
-//! that fires it is the epoch's straggler.
+//! propagation latency after the upload completes), and then drains its
+//! inbound payload through its downlink. The drain starts at the device's
+//! delivery time — inbound payloads are produced by the rest of the
+//! synchronous round and cross the network once, so a device cannot consume
+//! them straight off its own compute barrier. (An earlier revision
+//! scheduled the drain from the receiver's own `ComputeDone`, letting a
+//! device "drain" server payloads before any sender could have shipped
+//! them.) The epoch is synchronous (§IV-B): it ends when the last event
+//! fires, and the device that fires it is the epoch's straggler.
 //!
 //! The simulator runs entirely on [`VirtualTime`] — no `Instant`, no real
 //! clock — so identical inputs give bit-identical statistics.
@@ -44,7 +48,10 @@ pub struct EpochStats {
     /// Virtual seconds from epoch start to the last event — the epoch
     /// makespan under the synchronous barrier.
     pub makespan_secs: f64,
-    /// Per-device busy time (compute + the wider of its two link phases).
+    /// Per-device busy time: the device's serialized critical path,
+    /// compute + upload + propagation latency + downlink drain (latency
+    /// included because the closing `Delivered`/`InboxDrained` events
+    /// cannot fire before it).
     pub busy_secs: Vec<f64>,
     /// Per-device idle time (`makespan - busy`, zero for absent devices).
     pub idle_secs: Vec<f64>,
@@ -118,7 +125,15 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
         queue.push(compute_end, Event::ComputeDone(d as u32));
         let upload = p.upload_secs(w.bytes_out);
         let download = p.download_secs(w.bytes_in);
-        busy[d] = compute_end.secs() + upload.max(download);
+        // Busy time mirrors the event chain exactly (same additions in the
+        // same order, so the straggler's idle time is a bitwise 0.0): any
+        // traffic serializes upload → latency → drain after the compute.
+        let has_traffic = w.messages_out > 0 || w.bytes_out > 0 || w.bytes_in > 0;
+        busy[d] = if has_traffic {
+            ((compute_end.secs() + upload) + p.latency_secs) + download
+        } else {
+            compute_end.secs()
+        };
     }
 
     let mut events = 0u64;
@@ -139,16 +154,18 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
                 // the closing delivery is scheduled — makespan and
                 // straggler are identical to the per-message schedule at
                 // O(1) events per device.
+                let delivered = t.after(p.upload_secs(w.bytes_out)).after(p.latency_secs);
                 if w.messages_out > 0 || w.bytes_out > 0 {
-                    queue.push(
-                        t.after(p.upload_secs(w.bytes_out)).after(p.latency_secs),
-                        Event::Delivered(dev),
-                    );
+                    queue.push(delivered, Event::Delivered(dev));
                 }
-                // Downlink: the inbound payload drains in parallel.
+                // Downlink: inbound payloads exist only once the round's
+                // sends have crossed the network, so the drain starts at
+                // the delivery time — never at the receiver's own compute
+                // barrier. A device with no outbound burst still waits one
+                // propagation latency for the inbound bytes to arrive.
                 if w.bytes_in > 0 {
                     queue.push(
-                        t.after(p.download_secs(w.bytes_in)),
+                        delivered.after(p.download_secs(w.bytes_in)),
                         Event::InboxDrained(dev),
                     );
                 }
@@ -163,7 +180,13 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
         .zip(&busy)
         .map(|(p, &b)| {
             if p.available {
-                (makespan_secs - b).max(0.0)
+                // Busy is each device's own last-event time, computed with
+                // the exact float additions of the event chain, so it can
+                // never exceed the makespan — no clamp needed (a clamp
+                // here once masked the missing latency term).
+                let idle = makespan_secs - b;
+                debug_assert!(idle >= 0.0, "busy {b} exceeds makespan {makespan_secs}");
+                idle
             } else {
                 0.0
             }
@@ -245,7 +268,12 @@ mod tests {
     }
 
     #[test]
-    fn makespan_covers_upload_latency_and_download() {
+    fn inbox_drains_only_after_delivery() {
+        // Regression: the drain used to be scheduled from the receiver's
+        // own ComputeDone, so this epoch closed at 3.5s — with the device
+        // "draining" 100 inbound bytes that no sender could have shipped
+        // yet. Corrected schedule: compute 1s → upload 2s → latency 0.5s →
+        // download 1s, strictly serialized.
         let p = DeviceProfile {
             compute_rate: 10.0,
             uplink_bytes_per_sec: 100.0,
@@ -253,13 +281,52 @@ mod tests {
             latency_secs: 0.5,
             available: true,
         };
-        // compute 1s, upload 2s (+0.5 latency), download 1s.
         let stats = simulate_epoch(&[p], &[work(10.0, 4, 200, 100)]);
-        assert!((stats.makespan_secs - 3.5).abs() < 1e-12);
-        // Busy: compute + max(upload, download) = 3s; latency is idle air time.
-        assert!((stats.busy_secs[0] - 3.0).abs() < 1e-12);
-        // Events: compute done + burst delivered + inbox drained.
+        assert!((stats.makespan_secs - 4.5).abs() < 1e-12);
+        // Events: compute done + burst delivered + inbox drained, and the
+        // drain is the closing event.
         assert_eq!(stats.events, 3);
+        assert_eq!(stats.straggler, Some(0));
+    }
+
+    #[test]
+    fn drain_without_outbound_still_waits_for_propagation() {
+        // A receive-only device cannot start draining at its own compute
+        // barrier: the inbound payload crosses the network once.
+        let p = DeviceProfile {
+            compute_rate: 10.0,
+            uplink_bytes_per_sec: 100.0,
+            downlink_bytes_per_sec: 50.0,
+            latency_secs: 0.25,
+            available: true,
+        };
+        // compute 1s, no outbound, latency 0.25s, download 2s.
+        let stats = simulate_epoch(&[p], &[work(10.0, 0, 0, 100)]);
+        assert!((stats.makespan_secs - 3.25).abs() < 1e-12);
+        assert_eq!(stats.events, 2, "compute done + inbox drained");
+    }
+
+    #[test]
+    fn busy_time_includes_propagation_latency() {
+        // Regression: busy used to be compute + max(upload, download),
+        // omitting the latency the closing Delivered event includes — so a
+        // lone device reported phantom idle time. Busy must equal the
+        // device's own critical path exactly, making idle a bitwise zero.
+        let p = DeviceProfile {
+            compute_rate: 10.0,
+            uplink_bytes_per_sec: 100.0,
+            downlink_bytes_per_sec: 100.0,
+            latency_secs: 0.5,
+            available: true,
+        };
+        let stats = simulate_epoch(&[p], &[work(10.0, 4, 200, 100)]);
+        assert_eq!(stats.busy_secs[0].to_bits(), stats.makespan_secs.to_bits());
+        assert_eq!(stats.idle_secs[0], 0.0);
+        assert_eq!(stats.mean_utilization(), 1.0);
+        // Compute-only devices carry no phantom latency term.
+        let quiet = simulate_epoch(&[p], &[work(10.0, 0, 0, 0)]);
+        assert!((quiet.busy_secs[0] - 1.0).abs() < 1e-12);
+        assert_eq!(quiet.events, 1);
     }
 
     #[test]

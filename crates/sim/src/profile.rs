@@ -58,6 +58,20 @@ impl DeviceProfile {
         bytes as f64 / self.downlink_bytes_per_sec
     }
 
+    /// Fixed-point cost of one retained tree node on this device, in
+    /// virtual **microseconds**: `layers` work units of compute plus one
+    /// embedding-sized message through each link direction per epoch. This
+    /// is the per-node price the `VirtualSecs` balance objective feeds to
+    /// the secure comparisons, which operate on integers — hence the µs
+    /// fixed point. Clamped to ≥ 1 so the weighted workload of a non-empty
+    /// tree is never zero.
+    pub fn micros_per_tree_node(&self, layers: usize, embedding_bytes: u64) -> u64 {
+        let secs = self.compute_secs(layers as f64)
+            + self.upload_secs(embedding_bytes)
+            + self.download_secs(embedding_bytes);
+        ((secs * 1e6).round() as u64).max(1)
+    }
+
     /// Checks every rate is positive and finite.
     pub fn validate(&self) {
         assert!(
@@ -188,6 +202,27 @@ mod tests {
         assert!(p.downlink_bytes_per_sec > p.uplink_bytes_per_sec);
         assert_eq!(p.compute_secs(200.0), 2.0);
         assert!(p.upload_secs(4096) > p.download_secs(4096));
+    }
+
+    #[test]
+    fn per_node_micros_track_capability() {
+        let base = DeviceProfile::baseline();
+        let mut slow = base;
+        slow.compute_rate /= 50.0;
+        // Slower compute ⇒ strictly more µs per tree node.
+        assert!(slow.micros_per_tree_node(2, 64) > base.micros_per_tree_node(2, 64));
+        // Baseline, 2 layers, 64-byte embeddings: 2/100 s compute +
+        // 64/4096 s up + 64/16384 s down = 39,531.25 µs, rounded.
+        assert_eq!(base.micros_per_tree_node(2, 64), 39_531);
+        // Even a degenerate zero-work node costs at least 1 µs.
+        let fast = DeviceProfile {
+            compute_rate: 1e12,
+            uplink_bytes_per_sec: 1e12,
+            downlink_bytes_per_sec: 1e12,
+            latency_secs: 0.0,
+            available: true,
+        };
+        assert_eq!(fast.micros_per_tree_node(0, 0), 1);
     }
 
     #[test]

@@ -157,10 +157,13 @@ impl ScenarioState {
                     p.available = true;
                 }
             }
-            if self.profiles.iter().all(|p| !p.available) {
-                if let Some(p) = self.profiles.first_mut() {
-                    p.available = true;
-                }
+            if !self.profiles.is_empty() && self.profiles.iter().all(|p| !p.available) {
+                // Revive a device drawn from the scenario's own seeded
+                // stream. (Always reviving `profiles[0]` — the previous
+                // behavior — systematically biased device 0's availability
+                // whenever churn emptied the fleet.)
+                let idx = self.rng.index(self.profiles.len());
+                self.profiles[idx].available = true;
             }
         }
         self.dropped_device_rounds += self.profiles.iter().filter(|p| !p.available).count() as u64;
@@ -225,6 +228,43 @@ mod tests {
             assert!(st.profiles().iter().all(|p| p.available));
             assert_eq!(st.dropped_device_rounds(), 0);
         }
+    }
+
+    #[test]
+    fn revival_is_unbiased_across_seeds_and_deterministic_per_seed() {
+        // Force total churn: everyone drops every round, nobody rejoins,
+        // so the keep-alive revival fires each time. The revived device
+        // must come from the seeded stream, not always slot 0.
+        let survivors = |seed: u64, rounds: usize| -> Vec<usize> {
+            let mut st = ScenarioState::new(Scenario::Churn, 16, seed);
+            st.spec.dropout = 1.0;
+            st.spec.rejoin = 0.0;
+            (0..rounds)
+                .map(|_| {
+                    st.advance_round();
+                    let alive: Vec<usize> = st
+                        .profiles()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.available)
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(alive.len(), 1, "exactly the revived device survives");
+                    alive[0]
+                })
+                .collect()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..8u64 {
+            let a = survivors(seed, 12);
+            let b = survivors(seed, 12);
+            assert_eq!(a, b, "seed {seed}: revival must be deterministic");
+            seen.extend(a);
+        }
+        assert!(
+            seen.len() > 4,
+            "revival must spread across the fleet, saw only {seen:?}"
+        );
     }
 
     #[test]

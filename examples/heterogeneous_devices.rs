@@ -6,7 +6,7 @@
 //! cargo run --release --example heterogeneous_devices
 //! ```
 
-use lumos::core::{run_lumos, LumosConfig, TaskKind};
+use lumos::core::{run_lumos, BalanceObjective, LumosConfig, TaskKind};
 use lumos::data::{Dataset, Scale};
 use lumos::gnn::Backbone;
 use lumos::sim::{Scenario, ScenarioState};
@@ -65,7 +65,9 @@ fn main() {
     //    win shrinks: exactly the effect this simulator exists to expose.)
     let tail = base.clone().with_scenario(Scenario::StragglerTail);
     let trimmed = run_lumos(&ds, &tail).sim.unwrap();
-    let untrimmed = run_lumos(&ds, &tail.without_tree_trimming()).sim.unwrap();
+    let untrimmed = run_lumos(&ds, &tail.clone().without_tree_trimming())
+        .sim
+        .unwrap();
     println!(
         "\nstraggler-tail, trimming on : {:>8.2} sim secs/epoch",
         trimmed.avg_epoch_virtual_secs
@@ -74,5 +76,24 @@ fn main() {
         "straggler-tail, trimming off: {:>8.2} sim secs/epoch  ({:.0}% slower)",
         untrimmed.avg_epoch_virtual_secs,
         (untrimmed.avg_epoch_virtual_secs / trimmed.avg_epoch_virtual_secs - 1.0) * 100.0
+    );
+
+    // 4. Heterogeneity-aware balancing: price each tree node in virtual
+    //    microseconds (from the fleet's capability profiles) and let the
+    //    MCMC minimize the weighted makespan instead of tree-node counts.
+    //    A throttled device then sheds branches even when its degree is
+    //    average — the straggler split capability-vs-degree exposes.
+    let weighted = run_lumos(
+        &ds,
+        &tail
+            .clone()
+            .with_balance_objective(BalanceObjective::VirtualSecs),
+    )
+    .sim
+    .unwrap();
+    println!(
+        "straggler-tail, balance virtual secs: {:>8.2} sim secs/epoch  ({:.0}% of the node-count makespan)",
+        weighted.avg_epoch_virtual_secs,
+        weighted.avg_epoch_virtual_secs / trimmed.avg_epoch_virtual_secs * 100.0
     );
 }

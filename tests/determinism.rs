@@ -6,7 +6,7 @@
 //! (wall-clock fields excepted). This is what makes any CI failure in the
 //! integration suites reproducible locally from the printed seed.
 
-use lumos::core::{run_lumos, LumosConfig, RunReport, TaskKind};
+use lumos::core::{run_lumos, BalanceObjective, LumosConfig, RunReport, TaskKind};
 use lumos::data::{Dataset, Scale};
 use lumos::gnn::Backbone;
 use lumos::sim::Scenario;
@@ -151,6 +151,48 @@ fn scenario_is_a_pure_timing_overlay() {
     assert_reports_identical(&plain, &overlaid);
     assert!(plain.sim.is_none());
     assert!(overlaid.sim.is_some());
+}
+
+#[test]
+fn weighted_objective_is_seed_deterministic_and_not_a_noop() {
+    // VirtualSecs deliberately changes tree construction (it is NOT a pure
+    // timing overlay — that contract belongs to the default TreeNodes
+    // objective), but it must still be a pure function of the seed.
+    let run = || {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+            .with_epochs(8)
+            .with_mcmc_iterations(10)
+            .with_seed(0xBA1A4CE)
+            .with_scenario(Scenario::StragglerTail)
+            .with_balance_objective(BalanceObjective::VirtualSecs);
+        run_lumos(&ds, &cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_reports_identical(&a, &b);
+    let (sa, sb) = (a.sim.expect("sim summary"), b.sim.expect("sim summary"));
+    assert_eq!(sa.straggler_sequence, sb.straggler_sequence);
+    assert_eq!(
+        sa.total_virtual_secs.to_bits(),
+        sb.total_virtual_secs.to_bits()
+    );
+    // And it really rebalances: the weighted run's trimmed workloads must
+    // differ from the node-count run's under a heterogeneous fleet.
+    assert!(
+        a.constructor.weighted,
+        "a scenario was supplied, so VirtualSecs must not degenerate"
+    );
+    let tree_nodes = scenario_run(0xBA1A4CE, Scenario::StragglerTail);
+    assert!(!tree_nodes.constructor.weighted);
+    assert_eq!(
+        tree_nodes.constructor.max_weighted_workload as usize, tree_nodes.constructor.max_workload,
+        "TreeNodes objective reports node counts in both fields"
+    );
+    assert_ne!(
+        a.constructor.workloads, tree_nodes.constructor.workloads,
+        "VirtualSecs must place trees differently under a Pareto fleet"
+    );
 }
 
 #[test]

@@ -48,7 +48,8 @@ fn figure7_shape_trimming_cuts_the_tail() {
         Dataset::facebook_like(Scale::Smoke),
         Dataset::lastfm_like(Scale::Smoke),
     ] {
-        let (trimmed, rep) = construct_assignment(&ds.graph, true, 40, SecurityMode::CostModel, 1);
+        let (trimmed, rep) =
+            construct_assignment(&ds.graph, true, 40, SecurityMode::CostModel, 1, None);
         trimmed.check_feasible(&ds.graph).unwrap();
         // The paper's Fig. 7 headline: the trimmed maximum is a fraction of
         // the untrimmed one (39 vs >150 on Facebook; 16 vs >100 on LastFM).
