@@ -2,20 +2,26 @@
 //!
 //! The paper evaluates tree trimming on identical devices (Fig. 8). This
 //! sweep replays the same workload through `lumos-sim` under each
-//! [`Scenario`] preset and reports the simulated epoch makespan three ways:
+//! [`Scenario`] preset and reports the simulated epoch makespan four ways:
 //! trimmed under the paper's node-count objective, trimmed under the
-//! capability-weighted [`BalanceObjective::VirtualSecs`] objective, and
-//! untrimmed. Three claims become measurable: the makespan ordering
+//! capability-weighted [`BalanceObjective::VirtualSecs`] objective,
+//! trimmed under the semi-synchronous deadline aggregation policy
+//! ([`AggregationPolicy::Deadline`] at [`DEADLINE_FACTOR`]), and
+//! untrimmed. Four claims become measurable: the makespan ordering
 //! `Uniform < StragglerTail` for the same workload, the growth of
 //! trimming's win as capability heterogeneity compounds the degree
-//! heterogeneity the trimmer targets, and the additional win of balancing
-//! virtual seconds instead of tree nodes once devices stop being equals.
+//! heterogeneity the trimmer targets, the additional win of balancing
+//! virtual seconds instead of tree nodes once devices stop being equals,
+//! and the barrier time the deadline buys back by dropping late updates
+//! (`late_drops` counts what that costs in participation).
 //!
 //! [`to_json`] renders the sweep as the machine-readable `BENCH_fig8.json`
 //! record the perf-trajectory tooling consumes.
 
 use lumos_common::table::{fmt2, Table};
-use lumos_core::{run_lumos, BalanceObjective, LumosConfig, SimSummary, TaskKind};
+use lumos_core::{
+    run_lumos, AggregationPolicy, BalanceObjective, LumosConfig, SimSummary, TaskKind,
+};
 use lumos_data::Dataset;
 use lumos_gnn::Backbone;
 use lumos_sim::Scenario;
@@ -23,7 +29,12 @@ use lumos_sim::Scenario;
 use crate::args::HarnessArgs;
 use crate::presets::{mcmc_iterations_for, run_pair};
 
-/// One scenario's cost comparison (two trimmed objectives vs untrimmed).
+/// Deadline multiple the sweep's semi-sync column runs at: updates landing
+/// after `2 × median` delivery are dropped from the round.
+pub const DEADLINE_FACTOR: f64 = 2.0;
+
+/// One scenario's cost comparison (two trimmed objectives and the deadline
+/// policy vs untrimmed).
 #[derive(Debug, Clone)]
 pub struct HeteroRow {
     /// Dataset name.
@@ -34,6 +45,9 @@ pub struct HeteroRow {
     pub makespan_tree_nodes: f64,
     /// Simulated seconds per epoch, trimmed, virtual-seconds objective.
     pub makespan_virtual_secs: f64,
+    /// Simulated seconds per epoch, trimmed, node-count objective under
+    /// the deadline aggregation policy ([`DEADLINE_FACTOR`]).
+    pub makespan_deadline: f64,
     /// Simulated seconds per epoch without tree trimming.
     pub makespan_untrimmed: f64,
     /// Mean device utilization under the node-count objective.
@@ -47,6 +61,9 @@ pub struct HeteroRow {
     pub dominant_straggler: Option<(u32, usize)>,
     /// Device-rounds lost to churn.
     pub dropped_device_rounds: u64,
+    /// Device-rounds dropped by the deadline policy (the participation
+    /// price of `makespan_deadline`).
+    pub late_drops: u64,
 }
 
 impl HeteroRow {
@@ -71,6 +88,12 @@ impl HeteroRow {
     pub fn weighted_win_secs(&self) -> f64 {
         self.makespan_tree_nodes - self.makespan_virtual_secs
     }
+
+    /// Absolute seconds per epoch the deadline policy saves over the
+    /// full-sync barrier on the same (node-count, trimmed) placement.
+    pub fn deadline_win_secs(&self) -> f64 {
+        self.makespan_tree_nodes - self.makespan_deadline
+    }
 }
 
 /// Epochs per measurement: makespan statistics stabilize quickly and do
@@ -88,8 +111,12 @@ fn summary(
     base: &LumosConfig,
     objective: BalanceObjective,
     trim: bool,
+    policy: AggregationPolicy,
 ) -> SimSummary {
-    let mut cfg = base.clone().with_balance_objective(objective);
+    let mut cfg = base
+        .clone()
+        .with_balance_objective(objective)
+        .with_aggregation_policy(policy);
     if !trim {
         cfg = cfg.without_tree_trimming();
     }
@@ -104,12 +131,52 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
         .with_mcmc_iterations(mcmc_iterations_for(args.scale, &ds.name))
         .with_seed(args.seed)
         .with_scenario(scenario);
-    let (tree_nodes, (virtual_secs, untrimmed)) = run_pair(
-        || summary(ds, &base, BalanceObjective::TreeNodes, true),
+    let deadline_policy = AggregationPolicy::Deadline {
+        factor: DEADLINE_FACTOR,
+    };
+    let (tree_nodes, (virtual_secs, (deadline, untrimmed))) = run_pair(
+        || {
+            summary(
+                ds,
+                &base,
+                BalanceObjective::TreeNodes,
+                true,
+                AggregationPolicy::FullSync,
+            )
+        },
         || {
             run_pair(
-                || summary(ds, &base, BalanceObjective::VirtualSecs, true),
-                || summary(ds, &base, BalanceObjective::TreeNodes, false),
+                || {
+                    summary(
+                        ds,
+                        &base,
+                        BalanceObjective::VirtualSecs,
+                        true,
+                        AggregationPolicy::FullSync,
+                    )
+                },
+                || {
+                    run_pair(
+                        || {
+                            summary(
+                                ds,
+                                &base,
+                                BalanceObjective::TreeNodes,
+                                true,
+                                deadline_policy,
+                            )
+                        },
+                        || {
+                            summary(
+                                ds,
+                                &base,
+                                BalanceObjective::TreeNodes,
+                                false,
+                                AggregationPolicy::FullSync,
+                            )
+                        },
+                    )
+                },
             )
         },
     );
@@ -118,12 +185,14 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
         scenario,
         makespan_tree_nodes: tree_nodes.avg_epoch_virtual_secs,
         makespan_virtual_secs: virtual_secs.avg_epoch_virtual_secs,
+        makespan_deadline: deadline.avg_epoch_virtual_secs,
         makespan_untrimmed: untrimmed.avg_epoch_virtual_secs,
         utilization_tree_nodes: tree_nodes.mean_utilization,
         utilization_virtual_secs: virtual_secs.mean_utilization,
         utilization_untrimmed: untrimmed.mean_utilization,
         dominant_straggler: tree_nodes.dominant_straggler(),
         dropped_device_rounds: tree_nodes.dropped_device_rounds,
+        late_drops: deadline.late_drops,
     }
 }
 
@@ -152,8 +221,11 @@ pub fn table(rows: &[HeteroRow]) -> Table {
             "scenario",
             "epoch secs (nodes)",
             "epoch secs (vsecs)",
+            "epoch secs (deadline)",
             "epoch secs w.o. TT",
             "vsecs win",
+            "deadline win",
+            "late drops",
             "saved secs",
             "saved %",
             "util (nodes)",
@@ -168,8 +240,11 @@ pub fn table(rows: &[HeteroRow]) -> Table {
             r.scenario.name().to_string(),
             fmt2(r.makespan_tree_nodes),
             fmt2(r.makespan_virtual_secs),
+            fmt2(r.makespan_deadline),
             fmt2(r.makespan_untrimmed),
             fmt2(r.weighted_win_secs()),
+            fmt2(r.deadline_win_secs()),
+            r.late_drops.to_string(),
             fmt2(r.saved_secs()),
             fmt2(r.saved_pct()),
             fmt2(r.utilization_tree_nodes),
@@ -220,8 +295,11 @@ pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
                     "      \"scenario\": {},\n",
                     "      \"makespan_tree_nodes\": {},\n",
                     "      \"makespan_virtual_secs\": {},\n",
+                    "      \"makespan_deadline\": {},\n",
                     "      \"makespan_untrimmed\": {},\n",
                     "      \"weighted_win_secs\": {},\n",
+                    "      \"deadline_win_secs\": {},\n",
+                    "      \"late_drops\": {},\n",
                     "      \"saved_secs\": {},\n",
                     "      \"utilization_tree_nodes\": {},\n",
                     "      \"utilization_virtual_secs\": {},\n",
@@ -234,8 +312,11 @@ pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
                 json_str(r.scenario.name()),
                 json_num(r.makespan_tree_nodes),
                 json_num(r.makespan_virtual_secs),
+                json_num(r.makespan_deadline),
                 json_num(r.makespan_untrimmed),
                 json_num(r.weighted_win_secs()),
+                json_num(r.deadline_win_secs()),
+                r.late_drops,
                 json_num(r.saved_secs()),
                 json_num(r.utilization_tree_nodes),
                 json_num(r.utilization_virtual_secs),
@@ -305,6 +386,16 @@ mod tests {
             tail.makespan_virtual_secs,
             tail.makespan_tree_nodes
         );
+        // The deadline policy cuts the barrier under a Pareto tail — and
+        // pays for it in dropped device-rounds.
+        assert!(
+            tail.makespan_deadline < tail.makespan_tree_nodes,
+            "straggler-tail: deadline {} must beat full-sync {}",
+            tail.makespan_deadline,
+            tail.makespan_tree_nodes
+        );
+        assert!(tail.late_drops > 0, "the tail must breach the deadline");
+        assert!(tail.deadline_win_secs() > 0.0);
         assert_eq!(table(&[uniform, tail]).len(), 2);
     }
 
@@ -317,24 +408,28 @@ mod tests {
                 scenario: Scenario::Uniform,
                 makespan_tree_nodes: 10.25,
                 makespan_virtual_secs: 10.25,
+                makespan_deadline: 10.25,
                 makespan_untrimmed: 20.5,
                 utilization_tree_nodes: 0.8,
                 utilization_virtual_secs: 0.8,
                 utilization_untrimmed: 0.5,
                 dominant_straggler: Some((3, 5)),
                 dropped_device_rounds: 0,
+                late_drops: 0,
             },
             HeteroRow {
                 dataset: "facebook-smoke".into(),
                 scenario: Scenario::StragglerTail,
                 makespan_tree_nodes: 40.0,
                 makespan_virtual_secs: 31.5,
+                makespan_deadline: 12.5,
                 makespan_untrimmed: 90.0,
                 utilization_tree_nodes: 0.3,
                 utilization_virtual_secs: 0.4,
                 utilization_untrimmed: 0.2,
                 dominant_straggler: None,
                 dropped_device_rounds: 7,
+                late_drops: 11,
             },
         ];
         let json = to_json(&rows, &args);
@@ -350,6 +445,8 @@ mod tests {
         assert!(json.contains("\"scenario\": \"straggler-tail\""));
         assert!(json.contains("\"dominant_straggler\": null"));
         assert!(json.contains("\"weighted_win_secs\": 8.5"));
+        assert!(json.contains("\"deadline_win_secs\": 27.5"));
+        assert!(json.contains("\"late_drops\": 11"));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -15,6 +15,11 @@ use lumos_tensor::Tensor;
 use crate::init::LdpExchange;
 use crate::tree::{DeviceTree, TreeNode};
 
+/// POOL index arrays: `(gather leaves, scatter vertices, per-vertex mean
+/// coefficients)` — shared-ownership copies so a per-round mask can swap
+/// them without touching the batch.
+pub type PoolArrays = (Rc<Vec<u32>>, Rc<Vec<u32>>, Rc<Vec<f32>>);
+
 /// The batched forest plus everything the trainer needs.
 #[derive(Debug)]
 pub struct BatchedTrees {
@@ -29,6 +34,9 @@ pub struct BatchedTrees {
     pub pool_vertices: Rc<Vec<u32>>,
     /// `1 / leaf-count` per global vertex (mean-pool weights).
     pub pool_coeff: Rc<Vec<f32>>,
+    /// Owning device of each pooled leaf: the center of the tree it lives
+    /// in — the device whose round update ships that leaf's embedding.
+    pub pool_owners: Rc<Vec<u32>>,
     /// Per-device tree sizes (straggler cost model input).
     pub tree_sizes: Vec<usize>,
     /// Number of global vertices.
@@ -39,6 +47,48 @@ impl BatchedTrees {
     /// Total batched nodes.
     pub fn total_nodes(&self) -> usize {
         self.mg.num_nodes
+    }
+
+    /// POOL arrays `(leaves, vertices, coeff)` with every leaf owned by a
+    /// `dropped` device removed and the mean-pool coefficients renormalized
+    /// over the survivors — the semi-synchronous deadline's view of Eq. 31,
+    /// where late updates never reach the aggregation. A vertex whose every
+    /// contributor was dropped pools to zero (coefficient 0). With no drops
+    /// the original arrays are returned untouched (same `Rc`s), so the
+    /// default full-sync path is bit-identical.
+    pub fn masked_pool(&self, dropped: &[u32]) -> PoolArrays {
+        if dropped.is_empty() {
+            return (
+                self.pool_leaves.clone(),
+                self.pool_vertices.clone(),
+                self.pool_coeff.clone(),
+            );
+        }
+        let mut is_dropped = vec![false; self.num_vertices];
+        for &d in dropped {
+            is_dropped[d as usize] = true;
+        }
+        let mut leaves = Vec::with_capacity(self.pool_leaves.len());
+        let mut vertices = Vec::with_capacity(self.pool_vertices.len());
+        let mut counts = vec![0u32; self.num_vertices];
+        for ((&leaf, &vertex), &owner) in self
+            .pool_leaves
+            .iter()
+            .zip(self.pool_vertices.iter())
+            .zip(self.pool_owners.iter())
+        {
+            if is_dropped[owner as usize] {
+                continue;
+            }
+            leaves.push(leaf);
+            vertices.push(vertex);
+            counts[vertex as usize] += 1;
+        }
+        let coeff = counts
+            .iter()
+            .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
+            .collect();
+        (Rc::new(leaves), Rc::new(vertices), Rc::new(coeff))
     }
 }
 
@@ -62,6 +112,7 @@ pub fn build_batched(
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut pool_leaves: Vec<u32> = Vec::new();
     let mut pool_vertices: Vec<u32> = Vec::new();
+    let mut pool_owners: Vec<u32> = Vec::new();
     let mut leaf_counts = vec![0u32; n];
     let mut tree_sizes = Vec::with_capacity(n);
 
@@ -84,6 +135,7 @@ pub fn build_batched(
                         .copy_from_slice(&features[c * dim..(c + 1) * dim]);
                     pool_leaves.push(bid);
                     pool_vertices.push(tree.center);
+                    pool_owners.push(tree.center);
                     leaf_counts[tree.center as usize] += 1;
                 }
                 TreeNode::NeighborLeaf(k) | TreeNode::EgoNeighbor(k) => {
@@ -97,6 +149,7 @@ pub fn build_batched(
                     }
                     pool_leaves.push(bid);
                     pool_vertices.push(v);
+                    pool_owners.push(tree.center);
                     leaf_counts[v as usize] += 1;
                 }
             }
@@ -115,6 +168,7 @@ pub fn build_batched(
         pool_leaves: Rc::new(pool_leaves),
         pool_vertices: Rc::new(pool_vertices),
         pool_coeff: Rc::new(pool_coeff),
+        pool_owners: Rc::new(pool_owners),
         tree_sizes,
         num_vertices: n,
     }
@@ -192,6 +246,40 @@ mod tests {
             );
         }
         assert!(batch.pool_coeff.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn masked_pool_removes_late_owners_and_renormalizes() {
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        // No drops: the untouched arrays come back — same allocations.
+        let (l, v, c) = batch.masked_pool(&[]);
+        assert!(Rc::ptr_eq(&l, &batch.pool_leaves));
+        assert!(Rc::ptr_eq(&v, &batch.pool_vertices));
+        assert!(Rc::ptr_eq(&c, &batch.pool_coeff));
+        // Drop device 1 (the path's middle): its 4 leaves vanish.
+        let (l, v, c) = batch.masked_pool(&[1]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(v.len(), 4);
+        // Vertex 1 keeps only its neighbor-leaf copies in trees 0 and 2.
+        assert_eq!(v.iter().filter(|&&x| x == 1).count(), 2);
+        assert!((c[1] - 0.5).abs() < 1e-7);
+        // Vertices 0 and 2 lose the copies tree 1 carried: one survivor
+        // each (their own center leaf), coefficient 1.
+        assert!((c[0] - 1.0).abs() < 1e-7 && (c[2] - 1.0).abs() < 1e-7);
+        // Drop everything: the pool empties and every coefficient is 0.
+        let (l, _, c) = batch.masked_pool(&[0, 1, 2]);
+        assert!(l.is_empty());
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pool_owners_name_the_shipping_tree() {
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        assert_eq!(batch.pool_owners.len(), batch.pool_leaves.len());
+        // Tree layout is sequential: owners appear in tree order.
+        assert_eq!(*batch.pool_owners, vec![0, 0, 1, 1, 1, 1, 2, 2]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use lumos_balance::{BalanceObjective, SecurityMode};
 use lumos_gnn::Backbone;
-use lumos_sim::Scenario;
+use lumos_sim::{AggregationPolicy, Scenario};
 
 /// Learning task (§VIII-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,14 @@ pub struct LumosConfig {
     /// `scenario` (the fleet profiles are where the per-node µs prices come
     /// from) and falls back to `TreeNodes` without one.
     pub balance_objective: BalanceObjective,
+    /// How each round's updates are aggregated. The default `FullSync` is
+    /// the paper's synchronous barrier and keeps scenarios pure timing
+    /// overlays; `Deadline { factor }` drops updates landing after
+    /// `factor ×` the round's median delivery time from the pooled update,
+    /// the message accounting, and the barrier — deliberately changing the
+    /// training math. Needs a `scenario` (the timing signal comes from the
+    /// fleet profiles) and is inert without one.
+    pub aggregation_policy: AggregationPolicy,
 }
 
 impl LumosConfig {
@@ -98,6 +106,7 @@ impl LumosConfig {
             eval_every: 10,
             scenario: None,
             balance_objective: BalanceObjective::TreeNodes,
+            aggregation_policy: AggregationPolicy::FullSync,
         }
     }
 
@@ -148,6 +157,17 @@ impl LumosConfig {
         self.balance_objective = objective;
         self
     }
+
+    /// Builder-style: choose how each round's updates are aggregated.
+    ///
+    /// # Panics
+    /// Panics on an invalid policy (deadline factor not finite or below 1)
+    /// — here, at configuration time, rather than mid-training.
+    pub fn with_aggregation_policy(mut self, policy: AggregationPolicy) -> Self {
+        policy.validate();
+        self.aggregation_policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +181,7 @@ mod tests {
         assert_eq!(c.lr, 0.01);
         assert!(c.virtual_nodes && c.tree_trimming);
         assert_eq!(c.balance_objective, BalanceObjective::TreeNodes);
+        assert_eq!(c.aggregation_policy, AggregationPolicy::FullSync);
         assert_eq!(TaskKind::Supervised.metric_name(), "accuracy");
         assert_eq!(TaskKind::Unsupervised.metric_name(), "roc-auc");
     }
@@ -174,6 +195,7 @@ mod tests {
             .with_mcmc_iterations(50)
             .with_scenario(Scenario::StragglerTail)
             .with_balance_objective(BalanceObjective::VirtualSecs)
+            .with_aggregation_policy(AggregationPolicy::Deadline { factor: 2.0 })
             .without_virtual_nodes()
             .without_tree_trimming();
         assert_eq!(c.epsilon, 0.5);
@@ -182,7 +204,21 @@ mod tests {
         assert_eq!(c.mcmc_iterations, 50);
         assert_eq!(c.scenario, Some(Scenario::StragglerTail));
         assert_eq!(c.balance_objective, BalanceObjective::VirtualSecs);
+        assert_eq!(
+            c.aggregation_policy,
+            AggregationPolicy::Deadline { factor: 2.0 }
+        );
         assert!(!c.virtual_nodes && !c.tree_trimming);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline factor")]
+    fn invalid_deadline_factor_fails_at_configuration_time() {
+        // Regression: a sub-unit factor used to slip through the builder
+        // and only panic at the first epoch's probe (or never, without a
+        // scenario).
+        LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+            .with_aggregation_policy(AggregationPolicy::Deadline { factor: 0.5 });
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct SimSummary {
     pub mean_utilization: f64,
     /// Device-rounds lost to churn (0 for churn-free scenarios).
     pub dropped_device_rounds: u64,
+    /// Device-rounds dropped by the deadline aggregation policy (0 under
+    /// the default full-sync barrier).
+    pub late_drops: u64,
 }
 
 impl SimSummary {

@@ -11,7 +11,7 @@ use std::rc::Rc;
 use lumos_balance::BalanceObjective;
 use lumos_common::rng::Xoshiro256pp;
 use lumos_data::{Dataset, EdgeSplit, NodeSplit};
-use lumos_fed::{CostModel, Runtime};
+use lumos_fed::{ledger_work, CostModel, Runtime, SimNetwork};
 use lumos_gnn::{
     accuracy_masked, cross_entropy_masked, link_logits, link_prediction_loss, roc_auc,
     EncoderConfig, GnnEncoder, LinearDecoder,
@@ -19,9 +19,9 @@ use lumos_gnn::{
 use lumos_graph::Graph;
 use lumos_tensor::{Adam, ParamStore, Tape, VarId};
 
-use lumos_sim::ScenarioState;
+use lumos_sim::{simulate_epoch, AggregationPolicy, DeviceWork, ScenarioState};
 
-use crate::batch::{build_batched, BatchedTrees};
+use crate::batch::{build_batched, BatchedTrees, PoolArrays};
 use crate::config::{LumosConfig, TaskKind};
 use crate::constructor::construct_assignment;
 use crate::init::exchange_features;
@@ -64,6 +64,7 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     // timing statistics (and, under VirtualSecs, tree placement) only —
     // never the trainer's stochastic streams.
     let mut runtime = Runtime::new(n, CostModel::default());
+    runtime.set_embedding_bytes(EMBEDDING_BYTES);
     let mut scenario = cfg.scenario.map(|s| ScenarioState::new(s, n, cfg.seed));
     if let Some(state) = &scenario {
         runtime.set_profiles(state.profiles().to_vec());
@@ -109,6 +110,28 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     let init_messages = exchange.messages;
     let batch = build_batched(&trees, &ds.features, ds.feature_dim, &exchange);
 
+    // Semi-sync deadline probe: the per-round message pattern is static
+    // (same trees, same protocol every epoch), so one dry run of the
+    // recorder yields the per-destination DeviceWork whose simulated timing
+    // decides, each round, which updates would land past the deadline.
+    // Inert without a scenario — there are no profiles to time against.
+    let work_template: Option<Vec<DeviceWork>> =
+        if matches!(cfg.aggregation_policy, AggregationPolicy::Deadline { .. })
+            && scenario.is_some()
+        {
+            let mut probe = SimNetwork::new(n);
+            let snap = probe.snapshot();
+            record_epoch_messages(&trees, cfg, &mut probe, edge_split.as_ref(), &[]);
+            Some(ledger_work(
+                &probe,
+                &snap,
+                &batch.tree_sizes,
+                enc_cfg.num_layers,
+            ))
+        } else {
+            None
+        };
+
     // Phase 3: model setup (§VIII-B hyperparameters).
     let mut store = ParamStore::new();
     let encoder = GnnEncoder::new(&mut store, &enc_cfg, &mut rng);
@@ -147,13 +170,47 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
 
     // Phase 4: synchronized training epochs.
     let mut best_val = 0.0f64;
+    // Deadline memos: the probe is a pure function of (fleet, template)
+    // and the template is static, so re-simulate only when churn actually
+    // changed the fleet — and rebuild the masked POOL arrays only when
+    // the late set itself changed.
+    let mut probe_cache: Option<(Vec<lumos_sim::DeviceProfile>, Vec<u32>)> = None;
+    let mut pool_cache: (Vec<u32>, PoolArrays) = (Vec::new(), batch.masked_pool(&[]));
     for epoch in 0..cfg.epochs {
         if let Some(state) = &scenario {
             runtime.set_profiles(state.profiles().to_vec());
         }
+        // Deadline policy: probe this round's timing on the live fleet and
+        // drop the devices whose updates would land past the deadline —
+        // from the pooled update, the message accounting, and the barrier.
+        let late: Vec<u32> = match (&work_template, &scenario) {
+            (Some(template), Some(state)) => {
+                let stale = probe_cache
+                    .as_ref()
+                    .is_none_or(|(fleet, _)| fleet.as_slice() != state.profiles());
+                if stale {
+                    let timing = simulate_epoch(state.profiles(), template);
+                    let drops = cfg.aggregation_policy.late_devices(&timing);
+                    probe_cache = Some((state.profiles().to_vec(), drops));
+                }
+                probe_cache.as_ref().expect("probe just cached").1.clone()
+            }
+            _ => Vec::new(),
+        };
+        if late != pool_cache.0 {
+            pool_cache = (late.clone(), batch.masked_pool(&late));
+        }
         runtime.begin_epoch();
         let mut tape = Tape::new();
-        let h = forward_pooled(&mut tape, &store, &encoder, &batch, true, &mut rng);
+        let h = forward_pooled(
+            &mut tape,
+            &store,
+            &encoder,
+            &batch,
+            true,
+            &mut rng,
+            &pool_cache.1,
+        );
 
         let loss_var: VarId = match cfg.task {
             TaskKind::Supervised => {
@@ -187,9 +244,17 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         tape.accumulate_param_grads(&grads, &mut store);
         opt.step(&mut store);
 
-        // Protocol message accounting for this epoch (§VI-B/C).
-        record_epoch_messages(&trees, cfg, &mut runtime, edge_split.as_ref());
-        runtime.end_epoch(&batch.tree_sizes, encoder.num_layers());
+        // Protocol message accounting for this epoch (§VI-B/C); devices
+        // dropped by the deadline contribute no messages and do not gate
+        // the simulated barrier.
+        record_epoch_messages(
+            &trees,
+            cfg,
+            &mut runtime.network,
+            edge_split.as_ref(),
+            &late,
+        );
+        runtime.end_epoch_dropping(&batch.tree_sizes, encoder.num_layers(), &late);
         // Churn applies *between* rounds: the fleet after the last epoch is
         // never simulated, so advancing there would overcount drops.
         if epoch + 1 < cfg.epochs {
@@ -246,13 +311,17 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
             straggler_sequence: runtime.straggler_sequence(),
             mean_utilization: runtime.mean_sim_utilization(),
             dropped_device_rounds: state.dropped_device_rounds(),
+            late_drops: runtime.late_drops(),
         });
     }
     report
 }
 
 /// Forward pass over the batched forest followed by the POOL layer
-/// (Eq. 31): mean of all leaf embeddings per global vertex.
+/// (Eq. 31): mean of all leaf embeddings per global vertex, gathered
+/// through `pool` — the batch's full arrays, or a
+/// [`BatchedTrees::masked_pool`] view with the deadline's late devices
+/// excluded.
 fn forward_pooled(
     tape: &mut Tape,
     store: &ParamStore,
@@ -260,12 +329,14 @@ fn forward_pooled(
     batch: &BatchedTrees,
     training: bool,
     rng: &mut Xoshiro256pp,
+    pool: &PoolArrays,
 ) -> VarId {
     let x = tape.constant(batch.features.clone());
     let h_tree = encoder.forward(tape, store, x, &batch.mg, training, rng);
-    let leaves = tape.gather_rows(h_tree, batch.pool_leaves.clone());
-    let summed = tape.scatter_add_rows(leaves, batch.pool_vertices.clone(), batch.num_vertices);
-    tape.scale_rows(summed, batch.pool_coeff.clone())
+    let (pool_leaves, pool_vertices, pool_coeff) = pool;
+    let leaves = tape.gather_rows(h_tree, pool_leaves.clone());
+    let summed = tape.scatter_add_rows(leaves, pool_vertices.clone(), batch.num_vertices);
+    tape.scale_rows(summed, pool_coeff.clone())
 }
 
 /// Evaluation on the validation or test split (no dropout).
@@ -283,7 +354,9 @@ fn evaluate(
     rng: &mut Xoshiro256pp,
 ) -> f64 {
     let mut tape = Tape::new();
-    let h = forward_pooled(&mut tape, store, encoder, batch, false, rng);
+    // Evaluation is offline: every device's embedding participates.
+    let full_pool = batch.masked_pool(&[]);
+    let h = forward_pooled(&mut tape, store, encoder, batch, false, rng, &full_pool);
     match cfg.task {
         TaskKind::Supervised => {
             let split = node_split.expect("supervised split");
@@ -326,43 +399,64 @@ fn evaluate(
 ///   neighbors and of sampled negatives (Eq. 33);
 /// * finally every device ships its loss/gradient contribution to the
 ///   aggregation point.
+///
+/// Devices in `late` were dropped by the aggregation deadline: their
+/// updates never reached anyone, so none of their outbound messages are
+/// accounted (messages *to* them still are — their senders paid either
+/// way).
 fn record_epoch_messages(
     trees: &[DeviceTree],
     cfg: &LumosConfig,
-    runtime: &mut Runtime,
+    net: &mut SimNetwork,
     edge_split: Option<&EdgeSplit>,
+    late: &[u32],
 ) {
+    let mut dropped = vec![false; trees.len()];
+    for &d in late {
+        dropped[d as usize] = true;
+    }
     for tree in trees {
         let u = tree.center;
+        if dropped[u as usize] {
+            continue;
+        }
         for &v in &tree.neighbors {
             // Leaf embedding u → owner v after the l-layer update.
-            runtime.network.send(u, v, EMBEDDING_BYTES);
+            net.send(u, v, EMBEDDING_BYTES);
         }
     }
-    runtime.network.round();
+    net.round();
     if cfg.task == TaskKind::Unsupervised {
         // Positive fetches: each training edge's embedding crosses once;
         // negatives are requested per sampled pair.
         if let Some(split) = edge_split {
             for &(u, v) in &split.train_edges {
-                runtime.network.send(v, u, EMBEDDING_BYTES);
-                let _ = v;
+                if dropped[v as usize] {
+                    continue;
+                }
+                net.send(v, u, EMBEDDING_BYTES);
             }
             let neg_count = split.train_edges.len() * cfg.negatives_per_positive;
             for i in 0..neg_count {
                 // Negative-sample embedding transfers (uniformly attributed).
                 let from = (i % trees.len()) as u32;
                 let to = ((i / 2) % trees.len()) as u32;
-                runtime.network.send(from, to, EMBEDDING_BYTES);
+                if dropped[from as usize] {
+                    continue;
+                }
+                net.send(from, to, EMBEDDING_BYTES);
             }
         }
-        runtime.network.round();
+        net.round();
     }
-    // Loss/gradient aggregation: one message per device.
+    // Loss/gradient aggregation: one message per surviving device.
     for v in 0..trees.len() as u32 {
-        runtime.network.send_to_server(v, EMBEDDING_BYTES);
+        if dropped[v as usize] {
+            continue;
+        }
+        net.send_to_server(v, EMBEDDING_BYTES);
     }
-    runtime.network.round();
+    net.round();
 }
 
 #[cfg(test)]
@@ -471,7 +565,86 @@ mod tests {
         assert!(sim.avg_epoch_virtual_secs > 0.0);
         assert!(sim.mean_utilization > 0.0 && sim.mean_utilization <= 1.0);
         assert_eq!(sim.dropped_device_rounds, 0);
+        assert_eq!(sim.late_drops, 0, "full-sync never drops");
         assert!(sim.dominant_straggler().is_some());
+    }
+
+    #[test]
+    fn deadline_policy_drops_stragglers_and_shortens_epochs() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let base = smoke_config(TaskKind::Supervised)
+            .with_epochs(4)
+            .with_scenario(lumos_sim::Scenario::StragglerTail);
+        let full = run_lumos(&ds, &base);
+        let deadline = run_lumos(
+            &ds,
+            &base
+                .clone()
+                .with_aggregation_policy(AggregationPolicy::Deadline { factor: 2.0 }),
+        );
+        let (fs, ds_sim) = (full.sim.clone().unwrap(), deadline.sim.clone().unwrap());
+        // The Pareto tail lands past 2× the median every round.
+        assert!(ds_sim.late_drops > 0, "straggler tail must breach deadline");
+        assert_eq!(fs.late_drops, 0);
+        // Dropping them closes the barrier earlier.
+        assert!(
+            ds_sim.avg_epoch_virtual_secs < fs.avg_epoch_virtual_secs,
+            "deadline {} must undercut full-sync {}",
+            ds_sim.avg_epoch_virtual_secs,
+            fs.avg_epoch_virtual_secs
+        );
+        // And fewer updates cross the wire.
+        assert!(
+            deadline.avg_messages_per_device_per_epoch < full.avg_messages_per_device_per_epoch
+        );
+        // By design NOT a timing overlay: the pooled update changed.
+        assert_ne!(
+            full.final_loss().to_bits(),
+            deadline.final_loss().to_bits(),
+            "dropping updates must change the training math"
+        );
+        // Still learns on the surviving cohort.
+        assert!(deadline.test_metric > 0.3);
+    }
+
+    #[test]
+    fn deadline_policy_is_inert_without_a_scenario() {
+        // No profiles → no timing signal → FullSync behavior, bit for bit.
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised).with_epochs(5);
+        let plain = run_lumos(&ds, &cfg);
+        let polled = run_lumos(
+            &ds,
+            &cfg.clone()
+                .with_aggregation_policy(AggregationPolicy::Deadline { factor: 1.5 }),
+        );
+        assert_eq!(plain.test_metric.to_bits(), polled.test_metric.to_bits());
+        assert_eq!(plain.final_loss().to_bits(), polled.final_loss().to_bits());
+        assert_eq!(
+            plain.avg_messages_per_device_per_epoch.to_bits(),
+            polled.avg_messages_per_device_per_epoch.to_bits()
+        );
+        assert!(polled.sim.is_none());
+    }
+
+    #[test]
+    fn deadline_runs_are_seed_deterministic() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised)
+            .with_epochs(4)
+            .with_scenario(lumos_sim::Scenario::StragglerTail)
+            .with_aggregation_policy(AggregationPolicy::Deadline { factor: 2.0 });
+        let a = run_lumos(&ds, &cfg);
+        let b = run_lumos(&ds, &cfg);
+        assert_eq!(a.test_metric.to_bits(), b.test_metric.to_bits());
+        assert_eq!(a.final_loss().to_bits(), b.final_loss().to_bits());
+        let (sa, sb) = (a.sim.unwrap(), b.sim.unwrap());
+        assert_eq!(sa.late_drops, sb.late_drops);
+        assert_eq!(sa.straggler_sequence, sb.straggler_sequence);
+        assert_eq!(
+            sa.total_virtual_secs.to_bits(),
+            sb.total_virtual_secs.to_bits()
+        );
     }
 
     #[test]

@@ -9,14 +9,17 @@
 //!
 //! The runtime has two pricing paths: the global linear [`clock::CostModel`]
 //! (every device identical — the paper's abstraction), and a profile-aware
-//! path ([`Runtime::with_profiles`]) that feeds each epoch's ledger deltas
-//! through the `lumos-sim` discrete-event simulator, so heterogeneous
-//! fleets report per-device virtual timing and straggler identities.
+//! path ([`Runtime::with_profiles`]) that feeds each epoch's per-edge
+//! ledger deltas ([`runtime::ledger_work`]) through the `lumos-sim`
+//! discrete-event simulator, so heterogeneous fleets report per-device
+//! virtual timing, per-sender arrival-gated drains, and straggler
+//! identities — and the deadline aggregation policy can drop late updates
+//! from the barrier ([`Runtime::end_epoch_dropping`]).
 
 pub mod clock;
 pub mod network;
 pub mod runtime;
 
 pub use clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
-pub use network::{DeviceTraffic, NetworkSnapshot, SimNetwork};
-pub use runtime::{EpochRecord, Runtime};
+pub use network::{DeviceTraffic, EdgeTraffic, NetworkSnapshot, SimNetwork};
+pub use runtime::{ledger_work, EpochRecord, Runtime, UNAVAILABLE_COST_FACTOR};

@@ -1,8 +1,16 @@
-//! Simulated inter-device network with per-device accounting.
+//! Simulated inter-device network with per-device and per-edge accounting.
 //!
 //! Figure 8a reports the *average number of inter-device communication
 //! rounds per device per epoch*; this ledger records every message the
 //! protocols exchange so the harness can reproduce that series exactly.
+//! Each message is additionally tallied on its `(sender → receiver)` edge:
+//! the per-destination timing schedule needs to know *who* a device's
+//! inbound bytes came from, because the drain cannot start before the
+//! slowest of those senders has actually delivered. (The ledger used to
+//! keep only aggregate per-device byte totals — the approximation that made
+//! makespans optimistic whenever a fast receiver's senders were slow.)
+
+use std::collections::BTreeMap;
 
 /// Per-device communication tallies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -17,10 +25,23 @@ pub struct DeviceTraffic {
     pub bytes_received: u64,
 }
 
+/// Tallies of one directed `(sender → receiver)` edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeTraffic {
+    /// Messages carried by this edge.
+    pub messages: u64,
+    /// Payload bytes carried by this edge.
+    pub bytes: u64,
+}
+
 /// The simulated network connecting `n` devices and a server.
 #[derive(Debug, Clone)]
 pub struct SimNetwork {
     devices: Vec<DeviceTraffic>,
+    /// Directed per-edge tallies keyed `(from, to)`; [`SimNetwork::SERVER`]
+    /// stands in for the server on either end. A `BTreeMap` keeps every
+    /// traversal deterministic.
+    edges: BTreeMap<(u32, u32), EdgeTraffic>,
     server_received: u64,
     server_sent: u64,
     server_bytes_sent: u64,
@@ -28,10 +49,16 @@ pub struct SimNetwork {
 }
 
 impl SimNetwork {
+    /// Endpoint id of the aggregation server in per-edge keys — aliased to
+    /// the simulator's sentinel so ledger inbound lists and the timing
+    /// schedule can never disagree about who the server is.
+    pub const SERVER: u32 = lumos_sim::SERVER_SENDER;
+
     /// Creates a network for `n` devices.
     pub fn new(n: usize) -> Self {
         Self {
             devices: vec![DeviceTraffic::default(); n],
+            edges: BTreeMap::new(),
             server_received: 0,
             server_sent: 0,
             server_bytes_sent: 0,
@@ -44,6 +71,12 @@ impl SimNetwork {
         self.devices.len()
     }
 
+    fn record_edge(&mut self, from: u32, to: u32, bytes: u64) {
+        let e = self.edges.entry((from, to)).or_default();
+        e.messages += 1;
+        e.bytes += bytes;
+    }
+
     /// Records a device-to-device message.
     pub fn send(&mut self, from: u32, to: u32, bytes: u64) {
         let d = &mut self.devices[from as usize];
@@ -52,6 +85,7 @@ impl SimNetwork {
         let r = &mut self.devices[to as usize];
         r.received += 1;
         r.bytes_received += bytes;
+        self.record_edge(from, to, bytes);
     }
 
     /// Records a device-to-server message.
@@ -60,6 +94,7 @@ impl SimNetwork {
         d.sent += 1;
         d.bytes_sent += bytes;
         self.server_received += 1;
+        self.record_edge(from, Self::SERVER, bytes);
     }
 
     /// Records a server-to-device message.
@@ -69,6 +104,7 @@ impl SimNetwork {
         let r = &mut self.devices[to as usize];
         r.received += 1;
         r.bytes_received += bytes;
+        self.record_edge(Self::SERVER, to, bytes);
     }
 
     /// Marks a synchronization round (all devices advance together — the
@@ -80,6 +116,11 @@ impl SimNetwork {
     /// Traffic of one device.
     pub fn device(&self, v: u32) -> DeviceTraffic {
         self.devices[v as usize]
+    }
+
+    /// Cumulative traffic of one directed edge (zero if never used).
+    pub fn edge(&self, from: u32, to: u32) -> EdgeTraffic {
+        self.edges.get(&(from, to)).copied().unwrap_or_default()
     }
 
     /// Total device-to-device plus device-to-server messages.
@@ -128,6 +169,7 @@ impl SimNetwork {
             per_device_sent: self.devices.iter().map(|d| d.sent).collect(),
             per_device_bytes_sent: self.devices.iter().map(|d| d.bytes_sent).collect(),
             per_device_bytes_received: self.devices.iter().map(|d| d.bytes_received).collect(),
+            edges: self.edges.clone(),
         }
     }
 
@@ -157,6 +199,49 @@ impl SimNetwork {
             .map(|(d, &s)| d.bytes_received - s)
             .collect()
     }
+
+    /// Every directed edge used since a snapshot, with its message/byte
+    /// deltas, sorted by `(from, to)`.
+    pub fn sent_matrix_since(&self, snap: &NetworkSnapshot) -> Vec<((u32, u32), EdgeTraffic)> {
+        self.edges
+            .iter()
+            .filter_map(|(&key, &cur)| {
+                let prev = snap.edges.get(&key).copied().unwrap_or_default();
+                let delta = EdgeTraffic {
+                    messages: cur.messages - prev.messages,
+                    bytes: cur.bytes - prev.bytes,
+                };
+                (delta.messages > 0 || delta.bytes > 0).then_some((key, delta))
+            })
+            .collect()
+    }
+
+    /// The `(sender, bytes)` contributions received by device `to` since a
+    /// snapshot, sorted by sender id ([`SimNetwork::SERVER`] sorts last).
+    pub fn received_from_since(&self, snap: &NetworkSnapshot, to: u32) -> Vec<(u32, u64)> {
+        self.sent_matrix_since(snap)
+            .into_iter()
+            .filter_map(|((from, t), e)| (t == to && e.bytes > 0).then_some((from, e.bytes)))
+            .collect()
+    }
+
+    /// Per-receiver inbound `(sender, bytes)` lists since a snapshot, for
+    /// all devices in one deterministic pass (the per-destination timing
+    /// input `Runtime::end_epoch` hands to `lumos-sim`).
+    pub fn received_matrix_since(&self, snap: &NetworkSnapshot) -> Vec<Vec<(u32, u64)>> {
+        let mut inbound: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.devices.len()];
+        for ((from, to), e) in self.sent_matrix_since(snap) {
+            if to != Self::SERVER && e.bytes > 0 {
+                inbound[to as usize].push((from, e.bytes));
+            }
+        }
+        // Edge keys iterate sorted by (from, to), so each receiver's list
+        // is already sorted by sender — but make the contract explicit.
+        for list in &mut inbound {
+            debug_assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        inbound
+    }
 }
 
 /// A point-in-time copy of the network counters.
@@ -174,6 +259,8 @@ pub struct NetworkSnapshot {
     pub per_device_bytes_sent: Vec<u64>,
     /// Per-device bytes-received counters.
     pub per_device_bytes_received: Vec<u64>,
+    /// Per-edge counters at snapshot time.
+    pub edges: BTreeMap<(u32, u32), EdgeTraffic>,
 }
 
 #[cfg(test)]
@@ -230,5 +317,48 @@ mod tests {
         assert_eq!(net.total_messages() - snap.total_messages, 2);
         assert_eq!(net.bytes_sent_since(&snap), vec![8, 8]);
         assert_eq!(net.bytes_received_since(&snap), vec![8, 8]);
+    }
+
+    #[test]
+    fn per_edge_ledger_tracks_each_sender_separately() {
+        // The tentpole regression: aggregate per-device totals cannot tell
+        // a receiver *who* its bytes came from. The edge ledger can.
+        let mut net = SimNetwork::new(3);
+        net.send(0, 2, 100);
+        let snap = net.snapshot();
+        net.send(0, 2, 40);
+        net.send(0, 2, 2);
+        net.send(1, 2, 7);
+        net.send_from_server(2, 9);
+        net.send_to_server(2, 1);
+        // Edge deltas exclude the pre-snapshot 100 bytes.
+        assert_eq!(
+            net.received_from_since(&snap, 2),
+            vec![(0, 42), (1, 7), (SimNetwork::SERVER, 9)]
+        );
+        assert!(net.received_from_since(&snap, 0).is_empty());
+        assert_eq!(
+            net.edge(0, 2),
+            EdgeTraffic {
+                messages: 3,
+                bytes: 142
+            }
+        );
+        assert_eq!(net.edge(2, SimNetwork::SERVER).bytes, 1);
+        let matrix = net.sent_matrix_since(&snap);
+        assert_eq!(matrix.len(), 4, "0→2, 1→2, 2→server, server→2");
+        assert!(matrix.windows(2).all(|w| w[0].0 < w[1].0), "sorted keys");
+        // The one-pass per-receiver form agrees with the per-device query
+        // and never routes server-bound uploads into a device inbox.
+        let inbound = net.received_matrix_since(&snap);
+        for d in 0..3u32 {
+            assert_eq!(inbound[d as usize], net.received_from_since(&snap, d));
+        }
+        // Totals are consistent with the aggregate ledger.
+        let agg = net.bytes_received_since(&snap);
+        for d in 0..3usize {
+            let sum: u64 = inbound[d].iter().map(|&(_, b)| b).sum();
+            assert_eq!(sum, agg[d], "device {d} inbound totals diverge");
+        }
     }
 }

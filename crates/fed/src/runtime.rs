@@ -3,13 +3,66 @@
 //! Lumos "is a synchronized federated framework that operates in rounds and
 //! has to receive all the required updates to start the next round"
 //! (§IV-B). The engine owns the network ledger and the per-epoch timing
-//! records the system-cost experiments consume.
+//! records the system-cost experiments consume. Epoch timing is priced
+//! per destination: the ledger's `(sender → receiver)` deltas become
+//! per-sender inbound contributions, so a receiver's drain waits for its
+//! actual senders instead of being self-timed from its own burst.
 
 use lumos_common::timer::Stopwatch;
-use lumos_sim::{simulate_epoch, DeviceProfile, DeviceWork, EpochStats};
+use lumos_sim::{simulate_epoch, DeviceProfile, DeviceWork, EpochStats, Inbound};
 
 use crate::clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
 use crate::network::{NetworkSnapshot, SimNetwork};
+
+/// Default wire size assumed when pricing one tree node's per-epoch
+/// traffic (a pooled 16-float embedding).
+pub const DEFAULT_EMBEDDING_BYTES: u64 = 16 * 4;
+
+/// Price multiplier for tree nodes hosted on a currently-unavailable
+/// device: its retained nodes still exist, but every round it sits out
+/// stalls that work until rejoin. (Pricing absent devices at their nominal
+/// rate was the stale-cost bug — a churned fleet priced bit-identically to
+/// the frozen initial fleet.)
+pub const UNAVAILABLE_COST_FACTOR: u64 = 4;
+
+/// Builds the per-device [`DeviceWork`] of the epoch between `snap` and the
+/// network's current counters: compute from the tree-node counts, outbound
+/// traffic from the per-device ledger deltas, and the inbound side as the
+/// per-sender `(sender, bytes)` contributions of the edge ledger.
+///
+/// # Panics
+/// Panics if `device_tree_nodes` does not have exactly one entry per
+/// device. (The old zip-based construction silently truncated on a length
+/// mismatch, quietly mis-timing every epoch after a bad caller.)
+pub fn ledger_work(
+    network: &SimNetwork,
+    snap: &NetworkSnapshot,
+    device_tree_nodes: &[usize],
+    layers: usize,
+) -> Vec<DeviceWork> {
+    assert_eq!(
+        device_tree_nodes.len(),
+        network.num_devices(),
+        "one tree-node count per device: got {} counts for {} devices — \
+         a mismatched workload vector would silently truncate the epoch's work",
+        device_tree_nodes.len(),
+        network.num_devices(),
+    );
+    let sent = network.sent_since(snap);
+    let bytes_out = network.bytes_sent_since(snap);
+    let inbound = network.received_matrix_since(snap);
+    device_tree_nodes
+        .iter()
+        .zip(inbound)
+        .enumerate()
+        .map(|(d, (&nodes, from))| DeviceWork {
+            compute_units: (nodes * layers) as f64,
+            messages_out: sent[d],
+            bytes_out: bytes_out[d],
+            inbound: Inbound::PerSender(from),
+        })
+        .collect()
+}
 
 /// Record of one completed epoch.
 #[derive(Debug, Clone)]
@@ -26,6 +79,14 @@ pub struct EpochRecord {
     /// device profiles; prices each device by its own capabilities instead
     /// of the global [`CostModel`]).
     pub sim: Option<EpochStats>,
+    /// The live per-node price vector (virtual µs) this epoch ran under —
+    /// re-priced from the fleet as installed for *this* round, so churned
+    /// availability shows up instead of the frozen round-0 prices. `None`
+    /// on the plain cost-model path.
+    pub node_costs_micros: Option<Vec<u64>>,
+    /// Devices dropped by the aggregation deadline this epoch (empty under
+    /// the full-sync barrier).
+    pub late: Vec<u32>,
 }
 
 /// Synchronous round engine owning the network and epoch log.
@@ -35,7 +96,9 @@ pub struct Runtime {
     pub network: SimNetwork,
     cost_model: CostModel,
     profiles: Option<Vec<DeviceProfile>>,
+    embedding_bytes: u64,
     epochs: Vec<EpochRecord>,
+    late_drops: u64,
     current: Option<(usize, Stopwatch, NetworkSnapshot)>,
 }
 
@@ -46,7 +109,9 @@ impl Runtime {
             network: SimNetwork::new(n),
             cost_model,
             profiles: None,
+            embedding_bytes: DEFAULT_EMBEDDING_BYTES,
             epochs: Vec::new(),
+            late_drops: 0,
             current: None,
         }
     }
@@ -81,15 +146,30 @@ impl Runtime {
         self.profiles.as_deref()
     }
 
+    /// Sets the wire size used when re-pricing node costs per epoch
+    /// (defaults to [`DEFAULT_EMBEDDING_BYTES`]).
+    pub fn set_embedding_bytes(&mut self, bytes: u64) {
+        self.embedding_bytes = bytes;
+    }
+
     /// Per-device fixed-point tree-node costs (virtual µs) derived from the
     /// installed profiles — the price vector the `VirtualSecs` balance
-    /// objective feeds to the tree constructor. `None` on the plain
+    /// objective feeds to the tree constructor. Prices come from the *live*
+    /// fleet: a device currently sitting out (churn) costs
+    /// [`UNAVAILABLE_COST_FACTOR`] × its nominal price. `None` on the plain
     /// cost-model path, where every device is interchangeable and the
     /// node-count objective is exact.
     pub fn node_costs_micros(&self, layers: usize, embedding_bytes: u64) -> Option<Vec<u64>> {
         self.profiles.as_ref().map(|ps| {
             ps.iter()
-                .map(|p| p.micros_per_tree_node(layers, embedding_bytes))
+                .map(|p| {
+                    let nominal = p.micros_per_tree_node(layers, embedding_bytes);
+                    if p.available {
+                        nominal
+                    } else {
+                        nominal.saturating_mul(UNAVAILABLE_COST_FACTOR)
+                    }
+                })
                 .collect()
         })
     }
@@ -109,15 +189,42 @@ impl Runtime {
         self.current = Some((idx, Stopwatch::started(), self.network.snapshot()));
     }
 
-    /// Ends the open epoch. `device_tree_nodes` and `layers` feed the
-    /// straggler cost model; message counts are read from the ledger delta.
+    /// Ends the open epoch under the full-sync barrier. `device_tree_nodes`
+    /// and `layers` feed the straggler cost model; traffic is read from the
+    /// ledger's per-edge deltas.
     ///
     /// # Panics
-    /// Panics if no epoch is open.
+    /// Panics if no epoch is open or if `device_tree_nodes` does not have
+    /// one entry per device.
     pub fn end_epoch(&mut self, device_tree_nodes: &[usize], layers: usize) -> &EpochRecord {
+        self.end_epoch_dropping(device_tree_nodes, layers, &[])
+    }
+
+    /// Ends the open epoch with `late` devices dropped by the aggregation
+    /// deadline: their updates were discarded, so their events no longer
+    /// gate the synchronous barrier — they are simulated as absent this
+    /// epoch and tallied into [`Runtime::late_drops`].
+    ///
+    /// # Panics
+    /// Panics if no epoch is open, if `device_tree_nodes` does not have one
+    /// entry per device, or if `late` names a device id out of range.
+    pub fn end_epoch_dropping(
+        &mut self,
+        device_tree_nodes: &[usize],
+        layers: usize,
+        late: &[u32],
+    ) -> &EpochRecord {
         let (idx, mut sw, snap) = self.current.take().expect("no epoch open");
         sw.stop();
         self.network.round();
+        assert_eq!(
+            device_tree_nodes.len(),
+            self.network.num_devices(),
+            "one tree-node count per device: got {} counts for {} devices — \
+             a mismatched workload vector would silently truncate the epoch's costs",
+            device_tree_nodes.len(),
+            self.network.num_devices(),
+        );
         let sent = self.network.sent_since(&snap);
         let costs: Vec<f64> = device_tree_nodes
             .iter()
@@ -127,20 +234,18 @@ impl Runtime {
         let total_messages = self.network.total_messages() - snap.total_messages;
         let n = self.network.num_devices().max(1) as f64;
         let sim = self.profiles.as_ref().map(|profiles| {
-            let bytes_out = self.network.bytes_sent_since(&snap);
-            let bytes_in = self.network.bytes_received_since(&snap);
-            let work: Vec<DeviceWork> = device_tree_nodes
-                .iter()
-                .enumerate()
-                .map(|(d, &nodes)| DeviceWork {
-                    compute_units: (nodes * layers) as f64,
-                    messages_out: sent.get(d).copied().unwrap_or(0),
-                    bytes_out: bytes_out[d],
-                    bytes_in: bytes_in[d],
-                })
-                .collect();
-            simulate_epoch(profiles, &work)
+            let work = ledger_work(&self.network, &snap, device_tree_nodes, layers);
+            if late.is_empty() {
+                simulate_epoch(profiles, &work)
+            } else {
+                let mut overlay = profiles.clone();
+                for &d in late {
+                    overlay[d as usize].available = false;
+                }
+                simulate_epoch(&overlay, &work)
+            }
         });
+        self.late_drops += late.len() as u64;
         self.epochs.push(EpochRecord {
             epoch: idx,
             timing: EpochTiming {
@@ -151,6 +256,8 @@ impl Runtime {
             avg_messages_per_device: total_messages as f64 / n,
             total_messages,
             sim,
+            node_costs_micros: self.node_costs_micros(layers, self.embedding_bytes),
+            late: late.to_vec(),
         });
         self.epochs.last().expect("just pushed")
     }
@@ -158,6 +265,11 @@ impl Runtime {
     /// All completed epochs.
     pub fn epochs(&self) -> &[EpochRecord] {
         &self.epochs
+    }
+
+    /// Total device-rounds dropped by the aggregation deadline so far.
+    pub fn late_drops(&self) -> u64 {
+        self.late_drops
     }
 
     /// Mean wall seconds per epoch (Fig. 8b).
@@ -243,6 +355,8 @@ mod tests {
         assert_eq!(rec.total_messages, 3);
         assert!((rec.avg_messages_per_device - 1.0).abs() < 1e-12);
         assert!(rec.timing.wall_secs >= 0.0);
+        assert!(rec.node_costs_micros.is_none());
+        assert!(rec.late.is_empty());
         // Straggler: device 2 with 10 tree nodes dominates.
         let m = CostModel::default();
         assert!((rec.timing.makespan - m.device_cost(10, 2, 1)).abs() < 1e-9);
@@ -294,6 +408,60 @@ mod tests {
         assert!(rt.mean_sim_utilization() > 0.0 && rt.mean_sim_utilization() <= 1.0);
         // The global model still prices both devices identically.
         assert!((rec.timing.makespan - rec.timing.mean_cost).abs() < 1e-12);
+        // And the epoch carries the live price vector.
+        let costs = rec.node_costs_micros.expect("profile path re-prices");
+        assert!(costs[1] > costs[0]);
+    }
+
+    #[test]
+    fn epoch_timing_is_per_destination() {
+        // Device 0 is fast; its inbound bytes come from slow device 1. The
+        // aggregate ledger used to time device 0's drain off its own burst;
+        // the per-edge ledger makes it wait for device 1's delivery.
+        let mut profiles = vec![DeviceProfile::baseline(); 2];
+        profiles[1].compute_rate /= 1000.0;
+        let mut rt = Runtime::with_profiles(2, CostModel::default(), profiles.clone());
+        rt.begin_epoch();
+        rt.network.send(1, 0, 4096);
+        let rec = rt.end_epoch(&[10, 10], 2).clone();
+        let sim = rec.sim.expect("profile path must simulate");
+        // Device 1 computes 20 units at 0.1/s = 200s, uploads 1s, latency;
+        // device 0's one-second drain can only start after that.
+        assert!(sim.makespan_secs > 201.0, "makespan {}", sim.makespan_secs);
+        assert_eq!(sim.straggler, Some(0), "the waiting receiver closes");
+        // Device 0's own critical path is tiny: almost all of its epoch is
+        // the wait for its sender.
+        assert!(sim.busy_secs[0] < 2.0);
+        assert!(sim.idle_secs[0] > 199.0);
+    }
+
+    #[test]
+    fn deadline_drops_shorten_the_barrier() {
+        let mut profiles = vec![DeviceProfile::baseline(); 4];
+        profiles[3].compute_rate /= 500.0;
+        let run = |late: &[u32]| {
+            let mut rt = Runtime::with_profiles(4, CostModel::default(), profiles.clone());
+            rt.begin_epoch();
+            for d in 0..4 {
+                rt.network.send_to_server(d, 64);
+            }
+            let rec = rt.end_epoch_dropping(&[5, 5, 5, 5], 2, late).clone();
+            (rec, rt.late_drops())
+        };
+        let (full, full_drops) = run(&[]);
+        let (deadline, deadline_drops) = run(&[3]);
+        assert_eq!(full_drops, 0);
+        assert_eq!(deadline_drops, 1);
+        assert_eq!(deadline.late, vec![3]);
+        let (fs, ds) = (full.sim.unwrap(), deadline.sim.unwrap());
+        assert!(
+            ds.makespan_secs < fs.makespan_secs / 10.0,
+            "dropping the straggler must shorten the barrier: {} vs {}",
+            ds.makespan_secs,
+            fs.makespan_secs
+        );
+        assert_eq!(ds.active_devices, 3, "the late device sat the round out");
+        assert_eq!(fs.active_devices, 4);
     }
 
     #[test]
@@ -307,6 +475,45 @@ mod tests {
         assert_eq!(costs.len(), 2);
         assert_eq!(costs[0], profiles[0].micros_per_tree_node(2, 64));
         assert!(costs[1] > costs[0], "slower device must cost more µs/node");
+    }
+
+    #[test]
+    fn churned_fleet_reprices_instead_of_staying_frozen() {
+        // Regression for the stale-cost bug: costs were priced once from
+        // the initial fleet, so a fleet whose availability churned kept the
+        // frozen round-0 prices. Live pricing must differ.
+        let profiles = vec![DeviceProfile::baseline(); 3];
+        let mut rt = Runtime::with_profiles(3, CostModel::default(), profiles.clone());
+        let frozen = rt.node_costs_micros(2, 64).unwrap();
+        rt.begin_epoch();
+        let first = rt
+            .end_epoch(&[1, 1, 1], 2)
+            .node_costs_micros
+            .clone()
+            .unwrap();
+        assert_eq!(first, frozen, "round 0 runs on the initial fleet");
+        // Churn: device 1 drops out before the next round.
+        let mut churned = profiles.clone();
+        churned[1].available = false;
+        rt.set_profiles(churned);
+        rt.begin_epoch();
+        let live = rt
+            .end_epoch(&[1, 1, 1], 2)
+            .node_costs_micros
+            .clone()
+            .unwrap();
+        assert_ne!(live, frozen, "churned availability must re-price");
+        assert_eq!(live[1], frozen[1] * UNAVAILABLE_COST_FACTOR);
+        assert_eq!(live[0], frozen[0]);
+        // Rejoin restores the nominal price.
+        rt.set_profiles(profiles);
+        rt.begin_epoch();
+        let back = rt
+            .end_epoch(&[1, 1, 1], 2)
+            .node_costs_micros
+            .clone()
+            .unwrap();
+        assert_eq!(back, frozen);
     }
 
     #[test]
@@ -333,6 +540,24 @@ mod tests {
     #[should_panic]
     fn mismatched_profile_count_panics() {
         Runtime::with_profiles(3, CostModel::default(), vec![DeviceProfile::baseline(); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one tree-node count per device")]
+    fn mismatched_workload_vector_panics_instead_of_truncating() {
+        // Regression: the zip-based epoch accounting silently dropped the
+        // surplus devices when the workload vector was too short.
+        let mut rt = Runtime::new(3, CostModel::default());
+        rt.begin_epoch();
+        rt.end_epoch(&[4, 7], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one tree-node count per device")]
+    fn ledger_work_rejects_mismatched_lengths() {
+        let net = SimNetwork::new(3);
+        let snap = net.snapshot();
+        ledger_work(&net, &snap, &[1, 2, 3, 4], 2);
     }
 
     #[test]

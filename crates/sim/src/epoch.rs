@@ -3,14 +3,17 @@
 //! Each available device computes its local update, serializes its outbound
 //! messages through its uplink (the burst's last message lands one
 //! propagation latency after the upload completes), and then drains its
-//! inbound payload through its downlink. The drain starts at the device's
-//! delivery time — inbound payloads are produced by the rest of the
-//! synchronous round and cross the network once, so a device cannot consume
-//! them straight off its own compute barrier. (An earlier revision
-//! scheduled the drain from the receiver's own `ComputeDone`, letting a
-//! device "drain" server payloads before any sender could have shipped
-//! them.) The epoch is synchronous (§IV-B): it ends when the last event
-//! fires, and the device that fires it is the epoch's straggler.
+//! inbound payload through its downlink. The drain can start no earlier
+//! than the device's own burst barrier — inbound payloads are produced by
+//! the rest of the synchronous round and the device's link is serialized —
+//! and, when the inbound side names its senders ([`Inbound::PerSender`]),
+//! no earlier than the **latest of those senders' actual delivery times**.
+//! (Earlier revisions first scheduled the drain from the receiver's own
+//! `ComputeDone`, then from its own delivery time; both let a fast receiver
+//! "drain" bytes its slow senders had not shipped yet, making makespans
+//! optimistic exactly when a fast receiver's senders straggle.) The epoch
+//! is synchronous (§IV-B): it ends when the last event fires, and the
+//! device that fires it is the epoch's straggler.
 //!
 //! The simulator runs entirely on [`VirtualTime`] — no `Instant`, no real
 //! clock — so identical inputs give bit-identical statistics.
@@ -18,9 +21,46 @@
 use crate::profile::DeviceProfile;
 use crate::queue::{EventQueue, VirtualTime};
 
+/// Sender id marking payloads from the aggregation server rather than a
+/// peer device. The server is not simulated, so its payloads are treated as
+/// staged by the receiver's own burst barrier (the legacy approximation,
+/// now scoped to the one endpoint that has no profile).
+pub const SERVER_SENDER: u32 = u32::MAX;
+
+/// A device's inbound payload for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inbound {
+    /// Aggregate bytes with no sender identity: the drain is self-timed
+    /// from the receiver's own burst barrier — the legacy schedule, kept as
+    /// the degenerate case the per-destination schedule collapses to.
+    Aggregate(u64),
+    /// Per-sender contributions `(sender, bytes)`. The drain starts at the
+    /// latest of the receiver's own burst barrier and every named sender's
+    /// burst delivery time. [`SERVER_SENDER`], the receiver itself, absent
+    /// devices, and devices with no outbound burst contribute no constraint
+    /// beyond the receiver's own barrier.
+    PerSender(Vec<(u32, u64)>),
+}
+
+impl Default for Inbound {
+    fn default() -> Self {
+        Inbound::Aggregate(0)
+    }
+}
+
+impl Inbound {
+    /// Total inbound payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            Inbound::Aggregate(b) => *b,
+            Inbound::PerSender(list) => list.iter().map(|&(_, b)| b).sum(),
+        }
+    }
+}
+
 /// The work one device performs in one epoch, in the trainer's units
 /// (compute: tree-nodes × layers; traffic: ledger-counted payload bytes).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceWork {
     /// Local compute, in work units.
     pub compute_units: f64,
@@ -28,17 +68,32 @@ pub struct DeviceWork {
     pub messages_out: u64,
     /// Outbound payload bytes.
     pub bytes_out: u64,
-    /// Inbound payload bytes.
-    pub bytes_in: u64,
+    /// Inbound payload (aggregate or per-sender).
+    pub inbound: Inbound,
 }
 
 impl DeviceWork {
+    /// Work with self-timed aggregate inbound bytes (the legacy shape).
+    pub fn aggregate(compute_units: f64, messages_out: u64, bytes_out: u64, bytes_in: u64) -> Self {
+        Self {
+            compute_units,
+            messages_out,
+            bytes_out,
+            inbound: Inbound::Aggregate(bytes_in),
+        }
+    }
+
+    /// Total inbound payload bytes.
+    pub fn bytes_in(&self) -> u64 {
+        self.inbound.total_bytes()
+    }
+
     /// Whether this device has anything to do this epoch.
     pub fn is_idle(&self) -> bool {
         self.compute_units == 0.0
             && self.messages_out == 0
             && self.bytes_out == 0
-            && self.bytes_in == 0
+            && self.bytes_in() == 0
     }
 }
 
@@ -51,10 +106,16 @@ pub struct EpochStats {
     /// Per-device busy time: the device's serialized critical path,
     /// compute + upload + propagation latency + downlink drain (latency
     /// included because the closing `Delivered`/`InboxDrained` events
-    /// cannot fire before it).
+    /// cannot fire before it). Time spent *waiting* for slow senders'
+    /// payloads is idle, not busy.
     pub busy_secs: Vec<f64>,
     /// Per-device idle time (`makespan - busy`, zero for absent devices).
     pub idle_secs: Vec<f64>,
+    /// When each device's own update landed: its burst delivery time, or
+    /// its compute end when it shipped nothing. `None` for devices that
+    /// were absent or idle this epoch. This is the per-sender signal the
+    /// deadline aggregation policy reads.
+    pub update_delivery_secs: Vec<Option<f64>>,
     /// The device whose event closed the epoch (None if nothing ran).
     pub straggler: Option<u32>,
     /// Devices that participated (available, regardless of workload).
@@ -81,6 +142,9 @@ enum Event {
     ComputeDone(u32),
     /// The last message of the device's outbound burst arrived.
     Delivered(u32),
+    /// One sender's payload landed at one receiver (per incoming edge;
+    /// attributed to the sender, whose burst it closes at that receiver).
+    Arrived { from: u32 },
     /// All inbound payload drained through the downlink.
     InboxDrained(u32),
 }
@@ -89,6 +153,7 @@ impl Event {
     fn device(&self) -> u32 {
         match *self {
             Event::ComputeDone(d) | Event::Delivered(d) | Event::InboxDrained(d) => d,
+            Event::Arrived { from } => from,
         }
     }
 }
@@ -96,8 +161,12 @@ impl Event {
 /// Runs one epoch over the fleet and returns its statistics.
 ///
 /// Devices with `available == false` contribute nothing (their update is
-/// skipped this round); the simulation is a timing overlay and never
-/// changes what the trainer computes.
+/// skipped this round). Under [`Inbound::Aggregate`] the simulation is the
+/// legacy self-timed schedule; under [`Inbound::PerSender`] each receiver's
+/// drain additionally waits for its senders' actual deliveries, so the
+/// per-destination makespan dominates the aggregate one on the same work
+/// and collapses to it bit-for-bit when every sender lands at or before the
+/// receiver's own barrier (property-tested in `tests/sim_properties.rs`).
 ///
 /// # Panics
 /// Panics if `profiles` and `work` have different lengths.
@@ -110,6 +179,11 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
     let n = profiles.len();
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut busy = vec![0.0f64; n];
+    let mut update_delivery: Vec<Option<f64>> = vec![None; n];
+    // Burst barrier (compute + upload + latency) of every scheduled device;
+    // `delivered` is Some only when the device actually ships a burst.
+    let mut barrier: Vec<Option<VirtualTime>> = vec![None; n];
+    let mut delivered: Vec<Option<VirtualTime>> = vec![None; n];
     let mut active = 0usize;
 
     for (d, (p, w)) in profiles.iter().zip(work).enumerate() {
@@ -124,16 +198,61 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
         let compute_end = VirtualTime::new(p.compute_secs(w.compute_units));
         queue.push(compute_end, Event::ComputeDone(d as u32));
         let upload = p.upload_secs(w.bytes_out);
-        let download = p.download_secs(w.bytes_in);
+        let download = p.download_secs(w.bytes_in());
+        let burst = w.messages_out > 0 || w.bytes_out > 0;
+        let barrier_d = compute_end.after(upload).after(p.latency_secs);
+        barrier[d] = Some(barrier_d);
+        if burst {
+            delivered[d] = Some(barrier_d);
+        }
+        update_delivery[d] = Some(if burst {
+            barrier_d.secs()
+        } else {
+            compute_end.secs()
+        });
         // Busy time mirrors the event chain exactly (same additions in the
-        // same order, so the straggler's idle time is a bitwise 0.0): any
-        // traffic serializes upload → latency → drain after the compute.
-        let has_traffic = w.messages_out > 0 || w.bytes_out > 0 || w.bytes_in > 0;
+        // same order, so a self-timed straggler's idle time is a bitwise
+        // 0.0): any traffic serializes upload → latency → drain after the
+        // compute. Waiting on other senders' deliveries is idle.
+        let has_traffic = burst || w.bytes_in() > 0;
         busy[d] = if has_traffic {
             ((compute_end.secs() + upload) + p.latency_secs) + download
         } else {
             compute_end.secs()
         };
+    }
+
+    // Per-destination pass: each scheduled receiver's drain start is the
+    // max of its own barrier and its live cross-senders' delivery times;
+    // the transpose gives every sender its per-edge arrival events.
+    let mut drain_start: Vec<Option<VirtualTime>> = vec![None; n];
+    let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (d, w) in work.iter().enumerate() {
+        let Some(own_barrier) = barrier[d] else {
+            continue;
+        };
+        if w.bytes_in() == 0 {
+            continue;
+        }
+        let mut start = own_barrier;
+        if let Inbound::PerSender(list) = &w.inbound {
+            for &(s, bytes) in list {
+                if bytes == 0 || s == d as u32 || s == SERVER_SENDER {
+                    continue;
+                }
+                let Some(t) = delivered.get(s as usize).copied().flatten() else {
+                    // Absent/idle/burst-less sender: its payload is treated
+                    // as staged (the overlay never blocks the round on a
+                    // device the round skipped).
+                    continue;
+                };
+                if t > start {
+                    start = t;
+                }
+                out_edges[s as usize].push(d as u32);
+            }
+        }
+        drain_start[d] = Some(start);
     }
 
     let mut events = 0u64;
@@ -148,29 +267,27 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
         match ev {
             Event::ComputeDone(dev) => {
                 // Uplink: messages serialize, so the burst's last message
-                // lands one latency after the whole upload ends. Earlier
-                // deliveries are strictly before it and observable by
-                // nothing (aggregate ledger, analytic busy time), so only
-                // the closing delivery is scheduled — makespan and
-                // straggler are identical to the per-message schedule at
-                // O(1) events per device.
-                let delivered = t.after(p.upload_secs(w.bytes_out)).after(p.latency_secs);
-                if w.messages_out > 0 || w.bytes_out > 0 {
-                    queue.push(delivered, Event::Delivered(dev));
+                // lands one latency after the whole upload ends. Only the
+                // closing delivery plus one arrival per receiving edge are
+                // scheduled — earlier intra-burst deliveries are strictly
+                // before them and observable by nothing.
+                if let Some(time) = delivered[d] {
+                    queue.push(time, Event::Delivered(dev));
+                    for _receiver in &out_edges[d] {
+                        queue.push(time, Event::Arrived { from: dev });
+                    }
                 }
-                // Downlink: inbound payloads exist only once the round's
-                // sends have crossed the network, so the drain starts at
-                // the delivery time — never at the receiver's own compute
-                // barrier. A device with no outbound burst still waits one
-                // propagation latency for the inbound bytes to arrive.
-                if w.bytes_in > 0 {
+                // Downlink: the drain starts at the precomputed per-
+                // destination start (>= the device's own barrier, so never
+                // in the simulated past of this handler).
+                if let Some(start) = drain_start[d] {
                     queue.push(
-                        delivered.after(p.download_secs(w.bytes_in)),
+                        start.after(p.download_secs(w.bytes_in())),
                         Event::InboxDrained(dev),
                     );
                 }
             }
-            Event::Delivered(_) | Event::InboxDrained(_) => {}
+            Event::Delivered(_) | Event::Arrived { .. } | Event::InboxDrained(_) => {}
         }
     }
 
@@ -180,10 +297,11 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
         .zip(&busy)
         .map(|(p, &b)| {
             if p.available {
-                // Busy is each device's own last-event time, computed with
-                // the exact float additions of the event chain, so it can
-                // never exceed the makespan — no clamp needed (a clamp
-                // here once masked the missing latency term).
+                // Busy is each device's serialized critical path, computed
+                // with the exact float additions of the event chain, and
+                // the closing drain fires at or after that path's end — so
+                // busy can never exceed the makespan (a clamp here once
+                // masked the missing latency term).
                 let idle = makespan_secs - b;
                 debug_assert!(idle >= 0.0, "busy {b} exceeds makespan {makespan_secs}");
                 idle
@@ -196,6 +314,7 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
         makespan_secs,
         busy_secs: busy,
         idle_secs: idle,
+        update_delivery_secs: update_delivery,
         straggler,
         active_devices: active,
         events,
@@ -211,12 +330,7 @@ mod tests {
     }
 
     fn work(units: f64, msgs: u64, out: u64, inb: u64) -> DeviceWork {
-        DeviceWork {
-            compute_units: units,
-            messages_out: msgs,
-            bytes_out: out,
-            bytes_in: inb,
-        }
+        DeviceWork::aggregate(units, msgs, out, inb)
     }
 
     #[test]
@@ -264,6 +378,7 @@ mod tests {
         assert_eq!(stats.active_devices, 1);
         assert_eq!(stats.busy_secs[0], 0.0);
         assert_eq!(stats.idle_secs[0], 0.0);
+        assert_eq!(stats.update_delivery_secs[0], None);
         assert!((stats.makespan_secs - 1.0).abs() < 1e-12);
     }
 
@@ -287,6 +402,8 @@ mod tests {
         // drain is the closing event.
         assert_eq!(stats.events, 3);
         assert_eq!(stats.straggler, Some(0));
+        // The update landed when the burst did: compute + upload + latency.
+        assert_eq!(stats.update_delivery_secs[0], Some(3.5));
     }
 
     #[test]
@@ -304,6 +421,8 @@ mod tests {
         let stats = simulate_epoch(&[p], &[work(10.0, 0, 0, 100)]);
         assert!((stats.makespan_secs - 3.25).abs() < 1e-12);
         assert_eq!(stats.events, 2, "compute done + inbox drained");
+        // No burst: the device's "update" is just its local compute.
+        assert_eq!(stats.update_delivery_secs[0], Some(1.0));
     }
 
     #[test]
@@ -330,13 +449,132 @@ mod tests {
     }
 
     #[test]
+    fn receiver_waits_for_its_slowest_sender() {
+        // The tentpole fix: device 0 is fast but its 100 inbound bytes come
+        // from slow device 1, so its drain starts at device 1's delivery —
+        // not at device 0's own barrier (the aggregate approximation).
+        let mut profiles = flat_fleet(2);
+        profiles[0] = DeviceProfile {
+            compute_rate: 10.0,
+            uplink_bytes_per_sec: 100.0,
+            downlink_bytes_per_sec: 100.0,
+            latency_secs: 0.5,
+            available: true,
+        };
+        profiles[1] = DeviceProfile {
+            compute_rate: 1.0, // 10s compute
+            uplink_bytes_per_sec: 50.0,
+            downlink_bytes_per_sec: 100.0,
+            latency_secs: 0.5,
+            available: true,
+        };
+        let w = vec![
+            DeviceWork {
+                compute_units: 10.0, // 1s
+                messages_out: 1,
+                bytes_out: 200, // 2s upload
+                inbound: Inbound::PerSender(vec![(1, 100)]),
+            },
+            DeviceWork {
+                compute_units: 10.0, // 10s
+                messages_out: 1,
+                bytes_out: 100, // 2s upload
+                inbound: Inbound::Aggregate(0),
+            },
+        ];
+        let stats = simulate_epoch(&profiles, &w);
+        // Device 1 delivers at 10 + 2 + 0.5 = 12.5s; device 0 then drains
+        // 100 bytes in 1s → epoch closes at 13.5s, straggler = device 0.
+        assert!((stats.makespan_secs - 13.5).abs() < 1e-12);
+        assert_eq!(stats.straggler, Some(0));
+        // Device 0's busy time excludes the 9s wait: 1 + 2 + 0.5 + 1.
+        assert!((stats.busy_secs[0] - 4.5).abs() < 1e-12);
+        assert!(stats.idle_secs[0] > 8.9);
+        // Events: 2× ComputeDone + 2× Delivered + 1× Arrived(1→0) +
+        // 1× InboxDrained(0).
+        assert_eq!(stats.events, 6);
+        // The aggregate approximation closed the same epoch at device 1's
+        // delivery (12.5s): strictly optimistic.
+        let approx = vec![
+            work(10.0, 1, 200, 100),
+            DeviceWork {
+                inbound: Inbound::Aggregate(0),
+                ..w[1].clone()
+            },
+        ];
+        let old = simulate_epoch(&profiles, &approx);
+        assert!(old.makespan_secs < stats.makespan_secs);
+    }
+
+    #[test]
+    fn self_and_server_senders_collapse_to_the_aggregate_schedule() {
+        // Inbound bytes from the receiver itself and from the server add no
+        // constraint beyond the receiver's own barrier: the per-destination
+        // schedule must equal the aggregate one bit for bit.
+        let mut profiles = flat_fleet(3);
+        for (i, p) in profiles.iter_mut().enumerate() {
+            p.compute_rate = 50.0 / (i + 1) as f64;
+        }
+        let aggregate: Vec<DeviceWork> = (0..3).map(|i| work(100.0, 2, 300, 128 + i)).collect();
+        let per_sender: Vec<DeviceWork> = (0..3u32)
+            .map(|i| DeviceWork {
+                inbound: Inbound::PerSender(vec![(i, 100), (SERVER_SENDER, 28 + i as u64)]),
+                ..aggregate[i as usize].clone()
+            })
+            .collect();
+        let a = simulate_epoch(&profiles, &aggregate);
+        let b = simulate_epoch(&profiles, &per_sender);
+        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        assert_eq!(a.straggler, b.straggler);
+        assert_eq!(a.events, b.events);
+        for d in 0..3 {
+            assert_eq!(a.busy_secs[d].to_bits(), b.busy_secs[d].to_bits());
+            assert_eq!(a.idle_secs[d].to_bits(), b.idle_secs[d].to_bits());
+        }
+    }
+
+    #[test]
+    fn absent_senders_never_block_the_round() {
+        // Device 1 is offline this round; its recorded bytes toward device
+        // 0 are treated as staged, so the drain is self-timed.
+        let mut profiles = flat_fleet(2);
+        profiles[1].available = false;
+        let w = vec![
+            DeviceWork {
+                compute_units: 100.0,
+                messages_out: 1,
+                bytes_out: 64,
+                inbound: Inbound::PerSender(vec![(1, 256)]),
+            },
+            work(100.0, 1, 64, 0),
+        ];
+        let stats = simulate_epoch(&profiles, &w);
+        let self_timed = simulate_epoch(&profiles, &[work(100.0, 1, 64, 256), w[1].clone()]);
+        assert_eq!(
+            stats.makespan_secs.to_bits(),
+            self_timed.makespan_secs.to_bits()
+        );
+        assert_eq!(stats.straggler, Some(0));
+    }
+
+    #[test]
     fn busy_never_exceeds_makespan() {
         let profiles = flat_fleet(4);
         let w = vec![
-            work(50.0, 3, 900, 2000),
+            DeviceWork {
+                compute_units: 50.0,
+                messages_out: 3,
+                bytes_out: 900,
+                inbound: Inbound::PerSender(vec![(1, 1500), (3, 500)]),
+            },
             work(500.0, 1, 10, 0),
             work(0.0, 0, 0, 0),
-            work(20.0, 8, 2000, 50),
+            DeviceWork {
+                compute_units: 20.0,
+                messages_out: 8,
+                bytes_out: 2000,
+                inbound: Inbound::PerSender(vec![(0, 50)]),
+            },
         ];
         let stats = simulate_epoch(&profiles, &w);
         for d in 0..4 {
@@ -358,8 +596,13 @@ mod tests {
         for (i, p) in profiles.iter_mut().enumerate() {
             p.compute_rate = 100.0 / (i + 1) as f64;
         }
-        let w: Vec<DeviceWork> = (0..8)
-            .map(|i| work(i as f64 * 30.0, i as u64, 64 * i as u64, 32))
+        let w: Vec<DeviceWork> = (0..8u32)
+            .map(|i| DeviceWork {
+                compute_units: i as f64 * 30.0,
+                messages_out: i as u64,
+                bytes_out: 64 * i as u64,
+                inbound: Inbound::PerSender(vec![((i + 1) % 8, 32)]),
+            })
             .collect();
         let a = simulate_epoch(&profiles, &w);
         let b = simulate_epoch(&profiles, &w);

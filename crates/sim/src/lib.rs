@@ -13,8 +13,14 @@
 //!   [`VirtualTime`], ties broken by push sequence) with no real clock
 //!   anywhere in the simulation path.
 //! * [`epoch`] — [`simulate_epoch`]: schedules per-device compute,
-//!   message-delivery, and inbox-drain events, and reports the epoch
-//!   makespan, per-device busy/idle time, and the straggler's identity.
+//!   per-edge message-delivery ([`Inbound::PerSender`]: a receiver's drain
+//!   starts at the latest of its senders' actual delivery times), and
+//!   inbox-drain events, and reports the epoch makespan, per-device
+//!   busy/idle time, per-device update-delivery times, and the straggler's
+//!   identity.
+//! * [`policy`] — [`AggregationPolicy`]: the synchronous barrier
+//!   (`FullSync`) or a semi-synchronous deadline that drops updates landing
+//!   after a multiple of the round's median delivery time.
 //! * [`scenario`] — presets ([`Scenario::Uniform`],
 //!   [`Scenario::MobileFleet`], [`Scenario::StragglerTail`],
 //!   [`Scenario::Churn`]) and the round-to-round fleet evolution
@@ -25,11 +31,13 @@
 //! `tests/determinism.rs` at the workspace root).
 
 pub mod epoch;
+pub mod policy;
 pub mod profile;
 pub mod queue;
 pub mod scenario;
 
-pub use epoch::{simulate_epoch, DeviceWork, EpochStats};
+pub use epoch::{simulate_epoch, DeviceWork, EpochStats, Inbound, SERVER_SENDER};
+pub use policy::AggregationPolicy;
 pub use profile::{DeviceProfile, FleetSpec, Heterogeneity};
 pub use queue::{EventQueue, VirtualTime};
 pub use scenario::{Scenario, ScenarioState};

@@ -1,0 +1,175 @@
+//! Semi-synchronous aggregation policies over the per-destination timing
+//! signal.
+//!
+//! Lumos is synchronous: the round closes only when every update has
+//! arrived (§IV-B), so one straggler prices the whole epoch. With the
+//! per-destination schedule reporting *when each device's update actually
+//! lands* ([`EpochStats::update_delivery_secs`]), a deadline policy becomes
+//! well-defined: updates landing after a multiple of the round's median
+//! finish time are dropped from the pooled update, and the barrier closes
+//! without them — the Fig. 8c-style straggler-dropping trade the paper
+//! motivates.
+
+use crate::epoch::EpochStats;
+
+/// How a round's updates are aggregated.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum AggregationPolicy {
+    /// The paper's synchronous barrier: every update is waited for. The
+    /// default, and the only policy under which a scenario is a pure
+    /// timing overlay.
+    #[default]
+    FullSync,
+    /// Semi-synchronous deadline: a device whose update lands after
+    /// `factor × median update-delivery time` is dropped from that round's
+    /// pooled update and message accounting, and its events no longer gate
+    /// the barrier. `factor >= 1`, so the median device (and with it at
+    /// least half the round) always survives.
+    Deadline {
+        /// Deadline as a multiple of the round's median delivery time.
+        factor: f64,
+    },
+}
+
+impl AggregationPolicy {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationPolicy::FullSync => "full-sync",
+            AggregationPolicy::Deadline { .. } => "deadline",
+        }
+    }
+
+    /// Checks the policy's parameters; call at configuration time so a bad
+    /// deadline fails fast instead of mid-training (or never, when no
+    /// scenario means [`AggregationPolicy::late_devices`] is never hit).
+    ///
+    /// # Panics
+    /// Panics if a deadline factor is not finite or is below 1 (a factor
+    /// below 1 would drop the median device — and with it any guarantee
+    /// that a round keeps a majority).
+    pub fn validate(&self) {
+        if let AggregationPolicy::Deadline { factor } = *self {
+            assert!(
+                factor.is_finite() && factor >= 1.0,
+                "deadline factor must be finite and >= 1, got {factor}"
+            );
+        }
+    }
+
+    /// The devices this policy drops from a round with the given timing:
+    /// those whose update landed strictly after `factor ×` the round's
+    /// median delivery time (lower median — deterministic, no averaging).
+    /// Empty under [`AggregationPolicy::FullSync`] and for rounds where
+    /// nothing ran. Returned sorted by device id.
+    ///
+    /// # Panics
+    /// Panics if a deadline factor is not finite or is below 1.
+    pub fn late_devices(&self, stats: &EpochStats) -> Vec<u32> {
+        let AggregationPolicy::Deadline { factor } = *self else {
+            return Vec::new();
+        };
+        self.validate();
+        let mut times: Vec<f64> = stats
+            .update_delivery_secs
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if times.is_empty() {
+            return Vec::new();
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[(times.len() - 1) / 2];
+        let deadline = factor * median;
+        stats
+            .update_delivery_secs
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some_and(|t| t > deadline))
+            .map(|(d, _)| d as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::{simulate_epoch, DeviceWork};
+    use crate::profile::DeviceProfile;
+
+    fn stats_with(deliveries: Vec<Option<f64>>) -> EpochStats {
+        EpochStats {
+            makespan_secs: 0.0,
+            busy_secs: vec![0.0; deliveries.len()],
+            idle_secs: vec![0.0; deliveries.len()],
+            update_delivery_secs: deliveries,
+            straggler: None,
+            active_devices: 0,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn full_sync_never_drops() {
+        let s = stats_with(vec![Some(1.0), Some(1e9)]);
+        assert!(AggregationPolicy::FullSync.late_devices(&s).is_empty());
+    }
+
+    #[test]
+    fn deadline_drops_the_tail_but_keeps_the_median() {
+        let s = stats_with(vec![Some(1.0), Some(1.1), Some(0.9), None, Some(40.0)]);
+        // Sorted deliveries: 0.9, 1.0, 1.1, 40 → lower median 1.0, deadline
+        // 2.0 at factor 2 → only the 40s device is late; the absent device
+        // (None) is never dropped.
+        let late = AggregationPolicy::Deadline { factor: 2.0 }.late_devices(&s);
+        assert_eq!(late, vec![4]);
+    }
+
+    #[test]
+    fn at_least_half_the_round_survives() {
+        for n in 1..32usize {
+            let s = stats_with((0..n).map(|i| Some((i + 1) as f64)).collect());
+            let late = AggregationPolicy::Deadline { factor: 1.0 }.late_devices(&s);
+            assert!(
+                n - late.len() >= n.div_ceil(2),
+                "n={n}: {} dropped",
+                late.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_round_drops_nobody() {
+        let s = stats_with(vec![None, None]);
+        assert!(AggregationPolicy::Deadline { factor: 2.0 }
+            .late_devices(&s)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unit_factor_panics() {
+        let s = stats_with(vec![Some(1.0)]);
+        AggregationPolicy::Deadline { factor: 0.5 }.late_devices(&s);
+    }
+
+    #[test]
+    fn reads_the_simulated_signal_end_to_end() {
+        // A Pareto-style tail on real simulated timing: the slow device's
+        // update lands far past 2× the median and is dropped.
+        let mut profiles = vec![DeviceProfile::baseline(); 5];
+        profiles[3].compute_rate /= 100.0;
+        let w: Vec<DeviceWork> = (0..5)
+            .map(|_| DeviceWork::aggregate(100.0, 1, 64, 0))
+            .collect();
+        let stats = simulate_epoch(&profiles, &w);
+        let late = AggregationPolicy::Deadline { factor: 2.0 }.late_devices(&stats);
+        assert_eq!(late, vec![3]);
+        assert_eq!(AggregationPolicy::FullSync.name(), "full-sync");
+        assert_eq!(
+            AggregationPolicy::Deadline { factor: 2.0 }.name(),
+            "deadline"
+        );
+    }
+}

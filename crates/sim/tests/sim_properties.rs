@@ -1,13 +1,18 @@
 //! Property tests for the discrete-event core: the virtual clock never
-//! runs backwards, and the epoch simulator's invariants hold for arbitrary
-//! seeded fleets and workloads.
+//! runs backwards, the epoch simulator's invariants hold for arbitrary
+//! seeded fleets and workloads, and the per-destination schedule dominates
+//! the aggregate one — collapsing to it bit-for-bit exactly when every
+//! sender lands at or before its receiver's own burst barrier.
 
 use proptest::prelude::*;
 
 use lumos_common::rng::Xoshiro256pp;
-use lumos_sim::{simulate_epoch, DeviceProfile, DeviceWork, EventQueue, VirtualTime};
+use lumos_sim::{
+    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventQueue, Inbound, VirtualTime,
+    SERVER_SENDER,
+};
 
-/// Random fleet + workload of `n` devices from one seed.
+/// Random fleet + aggregate workload of `n` devices from one seed.
 fn random_fleet(seed: u64, n: usize) -> (Vec<DeviceProfile>, Vec<DeviceWork>) {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let profiles = (0..n)
@@ -20,14 +25,50 @@ fn random_fleet(seed: u64, n: usize) -> (Vec<DeviceProfile>, Vec<DeviceWork>) {
         })
         .collect();
     let work = (0..n)
-        .map(|_| DeviceWork {
-            compute_units: rng.range_f64(0.0, 5000.0),
-            messages_out: rng.next_below(32),
-            bytes_out: rng.next_below(1 << 16),
-            bytes_in: rng.next_below(1 << 16),
+        .map(|_| {
+            DeviceWork::aggregate(
+                rng.range_f64(0.0, 5000.0),
+                rng.next_below(32),
+                rng.next_below(1 << 16),
+                rng.next_below(1 << 16),
+            )
         })
         .collect();
     (profiles, work)
+}
+
+/// Splits each device's aggregate inbound bytes across random senders
+/// (peers, itself, or the server), preserving the per-device totals.
+fn scatter_inbound(seed: u64, work: &[DeviceWork]) -> Vec<DeviceWork> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5EED_CA57);
+    let n = work.len() as u64;
+    work.iter()
+        .map(|w| {
+            let total = w.bytes_in();
+            let mut remaining = total;
+            let mut list = Vec::new();
+            while remaining > 0 {
+                let chunk = (rng.next_below(remaining) + 1).min(remaining);
+                let sender = match rng.next_below(n + 2) {
+                    s if s < n => s as u32,
+                    s if s == n => SERVER_SENDER,
+                    _ => SERVER_SENDER, // second server slot keeps draws simple
+                };
+                list.push((sender, chunk));
+                remaining -= chunk;
+            }
+            DeviceWork {
+                inbound: Inbound::PerSender(list),
+                ..w.clone()
+            }
+        })
+        .collect()
+}
+
+/// The sender's burst barrier, with the exact float operations of the
+/// simulator's event chain.
+fn barrier_secs(p: &DeviceProfile, w: &DeviceWork) -> f64 {
+    (p.compute_secs(w.compute_units) + p.upload_secs(w.bytes_out)) + p.latency_secs
 }
 
 proptest! {
@@ -60,44 +101,130 @@ proptest! {
 
     /// The synchronous barrier dominates every device: busy time never
     /// exceeds the makespan, idle is the exact complement for available
-    /// devices, and utilization stays in [0, 1].
+    /// devices, and utilization stays in [0, 1] — under both inbound
+    /// representations.
     #[test]
     fn epoch_invariants_hold_for_random_fleets(seed in any::<u64>(), n in 1usize..48) {
-        let (profiles, work) = random_fleet(seed, n);
-        let stats = simulate_epoch(&profiles, &work);
-        prop_assert!(stats.makespan_secs >= 0.0);
-        for (d, p) in profiles.iter().enumerate() {
-            prop_assert!(
-                stats.busy_secs[d] <= stats.makespan_secs + 1e-9,
-                "device {} busy {} exceeds makespan {}",
-                d, stats.busy_secs[d], stats.makespan_secs
-            );
-            prop_assert!(stats.idle_secs[d] >= 0.0);
-            if p.available {
-                let sum = stats.busy_secs[d] + stats.idle_secs[d];
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let per_sender = scatter_inbound(seed, &aggregate);
+        for work in [&aggregate, &per_sender] {
+            let stats = simulate_epoch(&profiles, work);
+            prop_assert!(stats.makespan_secs >= 0.0);
+            for (d, p) in profiles.iter().enumerate() {
                 prop_assert!(
-                    (sum - stats.makespan_secs).abs() < 1e-9 || stats.makespan_secs == 0.0,
-                    "busy + idle must equal makespan for device {}", d
+                    stats.busy_secs[d] <= stats.makespan_secs + 1e-9,
+                    "device {} busy {} exceeds makespan {}",
+                    d, stats.busy_secs[d], stats.makespan_secs
                 );
-            } else {
-                prop_assert_eq!(stats.busy_secs[d], 0.0);
-                prop_assert_eq!(stats.idle_secs[d], 0.0);
+                prop_assert!(stats.idle_secs[d] >= 0.0);
+                if p.available {
+                    let sum = stats.busy_secs[d] + stats.idle_secs[d];
+                    prop_assert!(
+                        (sum - stats.makespan_secs).abs() < 1e-9 || stats.makespan_secs == 0.0,
+                        "busy + idle must equal makespan for device {}", d
+                    );
+                } else {
+                    prop_assert_eq!(stats.busy_secs[d], 0.0);
+                    prop_assert_eq!(stats.idle_secs[d], 0.0);
+                    prop_assert_eq!(stats.update_delivery_secs[d], None);
+                }
             }
+            let u = stats.mean_utilization();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utilization {} out of range", u);
+            // Straggler exists iff some available device had work.
+            let any_ran = profiles.iter().zip(work.iter()).any(|(p, w)| p.available && !w.is_idle());
+            prop_assert_eq!(stats.straggler.is_some(), any_ran);
         }
-        let u = stats.mean_utilization();
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utilization {} out of range", u);
-        // Straggler exists iff some available device had work.
-        let any_ran = profiles.iter().zip(&work).any(|(p, w)| p.available && !w.is_idle());
-        prop_assert_eq!(stats.straggler.is_some(), any_ran);
+    }
+
+    /// Naming senders can only delay drains: on the same work, the
+    /// per-destination makespan dominates the aggregate (self-timed) one.
+    #[test]
+    fn per_destination_makespan_dominates_aggregate(seed in any::<u64>(), n in 1usize..32) {
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let per_sender = scatter_inbound(seed, &aggregate);
+        let agg = simulate_epoch(&profiles, &aggregate);
+        let per = simulate_epoch(&profiles, &per_sender);
+        prop_assert!(
+            per.makespan_secs >= agg.makespan_secs,
+            "per-destination {} fell below aggregate {}",
+            per.makespan_secs, agg.makespan_secs
+        );
+        // Busy time is the device's own critical path either way: waiting
+        // for senders is idle, never busy.
+        for d in 0..n {
+            prop_assert_eq!(per.busy_secs[d].to_bits(), agg.busy_secs[d].to_bits());
+        }
+    }
+
+    /// Degenerate case, bit for bit: when every inbound byte originates at
+    /// or before its receiver's own burst barrier, the per-destination
+    /// schedule IS the aggregate schedule — same makespan bits, same
+    /// straggler, same busy/idle bits.
+    #[test]
+    fn early_senders_collapse_to_the_aggregate_schedule(seed in any::<u64>(), n in 1usize..32) {
+        let (profiles, aggregate) = random_fleet(seed, n);
+        // Keep only the cross-sender contributions that land at or before
+        // the receiver's own barrier; reroute the rest to the receiver
+        // itself (self-timed by definition). Totals are preserved.
+        let scattered = scatter_inbound(seed, &aggregate);
+        let filtered: Vec<DeviceWork> = scattered
+            .iter()
+            .enumerate()
+            .map(|(d, w)| {
+                let Inbound::PerSender(list) = &w.inbound else { unreachable!() };
+                let own = barrier_secs(&profiles[d], w);
+                let list = list
+                    .iter()
+                    .map(|&(s, b)| {
+                        let keep = s != SERVER_SENDER
+                            && (s as usize) < n
+                            && profiles[s as usize].available
+                            && !scattered[s as usize].is_idle()
+                            && barrier_secs(&profiles[s as usize], &scattered[s as usize]) <= own;
+                        if keep { (s, b) } else { (d as u32, b) }
+                    })
+                    .collect();
+                DeviceWork { inbound: Inbound::PerSender(list), ..w.clone() }
+            })
+            .collect();
+        let agg = simulate_epoch(&profiles, &aggregate);
+        let per = simulate_epoch(&profiles, &filtered);
+        prop_assert_eq!(per.makespan_secs.to_bits(), agg.makespan_secs.to_bits());
+        prop_assert_eq!(per.straggler, agg.straggler);
+        for d in 0..n {
+            prop_assert_eq!(per.busy_secs[d].to_bits(), agg.busy_secs[d].to_bits());
+            prop_assert_eq!(per.idle_secs[d].to_bits(), agg.idle_secs[d].to_bits());
+        }
     }
 
     /// Bit-identical replay: the simulator is a pure function of its
     /// inputs, with no hidden clock or iteration-order dependence.
     #[test]
     fn epoch_simulation_is_replayable(seed in any::<u64>(), n in 1usize..32) {
-        let (profiles, work) = random_fleet(seed, n);
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let work = scatter_inbound(seed, &aggregate);
         let a = simulate_epoch(&profiles, &work);
         let b = simulate_epoch(&profiles, &work);
         prop_assert_eq!(a, b);
+    }
+
+    /// The deadline policy can never empty a round: the median device (and
+    /// with it at least half the participants) always survives, and only
+    /// participants are ever dropped.
+    #[test]
+    fn deadline_keeps_at_least_half_the_round(
+        seed in any::<u64>(), n in 1usize..32, factor in 1.0f64..4.0
+    ) {
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let work = scatter_inbound(seed, &aggregate);
+        let stats = simulate_epoch(&profiles, &work);
+        let late = AggregationPolicy::Deadline { factor }.late_devices(&stats);
+        let participants = stats.update_delivery_secs.iter().flatten().count();
+        prop_assert!(late.len() <= participants / 2);
+        for &d in &late {
+            prop_assert!(stats.update_delivery_secs[d as usize].is_some());
+        }
+        prop_assert!(AggregationPolicy::FullSync.late_devices(&stats).is_empty());
     }
 }
