@@ -28,5 +28,8 @@ pub use maxfind::{
     WORKLOAD_BITS,
 };
 pub use mcmc::{mcmc_balance, McmcConfig, McmcOutcome, McmcStats};
-pub use oracle::{make_oracle, CompareOracle, MeteredPlainOracle, SecureOracle, SecurityMode};
+pub use oracle::{
+    make_oracle, make_oracle_backend, BitslicedPlainOracle, BitslicedSecureOracle, CompareBackend,
+    CompareOracle, MeteredPlainOracle, SecureOracle, SecurityMode,
+};
 pub use problem::{objective_lower_bound, Assignment, BalanceObjective};

@@ -69,19 +69,33 @@ pub fn find_max_workload_device(
     let n = g.num_nodes();
     assert!(n > 0, "empty system");
     let bits = workload_bits(assignment);
-    let wl = |v: u32| {
-        let w = assignment.weighted_workload(v);
-        debug_assert!(w < 1u64 << bits, "workload {w} overflows {bits} bits");
-        w
-    };
+    // One workload derivation per device per sweep: the assignment is
+    // immutable for the duration of the protocol, so re-deriving
+    // `weighted_workload` per edge endpoint (twice per edge, again per
+    // phase-2 candidate) was pure waste.
+    let wl: Vec<u64> = (0..n as u32)
+        .map(|v| {
+            let w = assignment.weighted_workload(v);
+            debug_assert!(w < 1u64 << bits, "workload {w} overflows {bits} bits");
+            w
+        })
+        .collect();
 
     // Phase 1 (device operation 1): each device checks whether it is a
     // local maximum among its ego-network neighbors. Each edge is compared
     // once; both endpoints learn the ordering, mirroring the pairwise
-    // protocol runs of Alg. 1.
+    // protocol runs of Alg. 1. The edges are independent, so the whole
+    // sweep goes to the oracle as one batch — the bit-sliced backend packs
+    // 64 of them per circuit evaluation; the scalar backend's default loop
+    // reproduces the historical per-edge calls bit for bit.
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let pairs: Vec<(u64, u64)> = edges
+        .iter()
+        .map(|&(u, v)| (wl[u as usize], wl[v as usize]))
+        .collect();
     let mut is_candidate = vec![true; n];
-    for (u, v) in g.edges() {
-        match oracle.compare(wl(u), wl(v), bits) {
+    for (&(u, v), ord) in edges.iter().zip(oracle.compare_batch(&pairs, bits)) {
+        match ord {
             std::cmp::Ordering::Greater => is_candidate[v as usize] = false,
             std::cmp::Ordering::Less => is_candidate[u as usize] = false,
             std::cmp::Ordering::Equal => {}
@@ -94,20 +108,22 @@ pub fn find_max_workload_device(
         .filter(|&v| is_candidate[v as usize])
         .collect();
 
-    // Phase 2 (device operation 2): candidates compare pairwise.
+    // Phase 2 (device operation 2): candidates compare pairwise. The scan
+    // is sequential by construction (each comparison's operand is the
+    // running winner), so it stays on the scalar entry point.
     let mut best: Vec<u32> = Vec::new();
     let mut best_wl: Option<u64> = None;
     for &c in &cvs {
         match best_wl {
             None => {
                 best.push(c);
-                best_wl = Some(wl(c));
+                best_wl = Some(wl[c as usize]);
             }
-            Some(current) => match oracle.compare(wl(c), current, bits) {
+            Some(current) => match oracle.compare(wl[c as usize], current, bits) {
                 std::cmp::Ordering::Greater => {
                     best.clear();
                     best.push(c);
-                    best_wl = Some(wl(c));
+                    best_wl = Some(wl[c as usize]);
                 }
                 std::cmp::Ordering::Equal => best.push(c),
                 std::cmp::Ordering::Less => {}
@@ -200,6 +216,32 @@ mod tests {
         let out = find_max_workload_device(&g, &a, &mut oracle, &mut rng());
         assert_eq!(out.device, 1, "the throttled leaf dominates in µs");
         assert_eq!(a.weighted_workload(out.device), 1_000_000);
+    }
+
+    #[test]
+    fn bitsliced_sweep_matches_scalar_with_fewer_messages() {
+        use crate::oracle::BitslicedPlainOracle;
+        let mut r = Xoshiro256pp::seed_from_u64(17);
+        let g = lumos_graph::generate::erdos_renyi(120, 0.08, &mut r);
+        let a = Assignment::full(&g);
+        let mut scalar = MeteredPlainOracle::new();
+        let mut sliced = BitslicedPlainOracle::new();
+        let out_scalar =
+            find_max_workload_device(&g, &a, &mut scalar, &mut Xoshiro256pp::seed_from_u64(9));
+        let out_sliced =
+            find_max_workload_device(&g, &a, &mut sliced, &mut Xoshiro256pp::seed_from_u64(9));
+        assert_eq!(out_scalar.device, out_sliced.device);
+        assert_eq!(out_scalar.cvs_size, out_sliced.cvs_size);
+        assert_eq!(out_scalar.server, out_sliced.server);
+        // Same logical comparisons; far fewer wire messages (phase 1 packs
+        // the whole edge sweep 64 lanes per word).
+        assert_eq!(scalar.comparisons(), sliced.comparisons());
+        assert!(
+            sliced.meter().messages * 8 < scalar.meter().messages,
+            "batched sweep must collapse messages: {} vs {}",
+            sliced.meter().messages,
+            scalar.meter().messages
+        );
     }
 
     #[test]

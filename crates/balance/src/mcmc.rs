@@ -14,6 +14,13 @@
 //! and Eq. 18's exponent is normalized by the fleet's mean per-node cost so
 //! the acceptance temperature stays in tree-node units. With unit costs the
 //! normalizer is exactly 1.0 and the chain is bit-identical to the paper's.
+//!
+//! The chain's dominant cost — `2 × iterations` Algorithm-3 sweeps, each
+//! comparing every edge — goes to the [`CompareOracle`] as whole-sweep
+//! batches, so a bit-sliced backend
+//! ([`crate::oracle::CompareBackend::Bitsliced`]) evaluates 64 edges per
+//! circuit while leaving every outcome, and hence the chain's trajectory,
+//! untouched.
 
 use lumos_common::rng::Xoshiro256pp;
 use lumos_crypto::CommMeter;
@@ -289,6 +296,36 @@ mod tests {
         );
         assert_eq!(plain_oracle.comparisons(), ones_oracle.comparisons());
         assert_eq!(plain.stats.accepted, ones.stats.accepted);
+    }
+
+    #[test]
+    fn bitsliced_backend_reproduces_the_scalar_chain() {
+        // The MH chain consumes only comparison *outcomes* and its own RNG
+        // stream, so swapping the comparison engine must reproduce the
+        // trajectory exactly — while the wire meters collapse.
+        use crate::oracle::BitslicedPlainOracle;
+        let g = powerlaw_graph(200, 21);
+        let cfg = McmcConfig {
+            iterations: 40,
+            seed: 33,
+        };
+        let mut scalar = MeteredPlainOracle::new();
+        let scalar_out = mcmc_balance(&g, greedy_init(&g, &mut scalar), &cfg, &mut scalar);
+        let mut sliced = BitslicedPlainOracle::new();
+        let sliced_out = mcmc_balance(&g, greedy_init(&g, &mut sliced), &cfg, &mut sliced);
+        assert_eq!(scalar_out.assignment, sliced_out.assignment);
+        assert_eq!(scalar_out.trace, sliced_out.trace);
+        assert_eq!(scalar_out.stats.accepted, sliced_out.stats.accepted);
+        assert_eq!(
+            scalar_out.stats.comparisons, sliced_out.stats.comparisons,
+            "logical comparison counts must not depend on the engine"
+        );
+        assert!(
+            sliced_out.stats.secure.messages * 8 < scalar_out.stats.secure.messages,
+            "bit-slicing must collapse the secure traffic: {} vs {}",
+            sliced_out.stats.secure.messages,
+            scalar_out.stats.secure.messages
+        );
     }
 
     #[test]

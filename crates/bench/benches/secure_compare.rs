@@ -3,7 +3,11 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lumos_crypto::{ot_transfer, secure_compare, secure_difference, CommMeter, OtDealer, TwoParty};
+use lumos_common::rng::Xoshiro256pp;
+use lumos_crypto::{
+    ot_transfer, secure_compare, secure_compare_batch, secure_difference, CommMeter, OtDealer,
+    TwoParty,
+};
 
 fn bench_ot(c: &mut Criterion) {
     c.bench_function("ot_transfer", |b| {
@@ -26,6 +30,27 @@ fn bench_compare(c: &mut Criterion) {
     }
 }
 
+/// Scalar-vs-bitsliced pair on the 48-bit weighted-workload lane: the same
+/// 256 independent comparisons evaluated one circuit per pair vs 64 lanes
+/// per word (4 words total).
+fn bench_compare_batch(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::seed_from_u64(2023);
+    let pairs: Vec<(u64, u64)> = (0..256)
+        .map(|_| (rng.next_below(1 << 48), rng.next_below(1 << 48)))
+        .collect();
+    c.bench_function("compare_256x48bit_scalar", |b| {
+        b.iter(|| {
+            for (i, &(x, y)) in pairs.iter().enumerate() {
+                let mut ctx = TwoParty::new(i as u64);
+                black_box(secure_compare(&mut ctx, x, y, 48));
+            }
+        })
+    });
+    c.bench_function("compare_256x48bit_bitsliced", |b| {
+        b.iter(|| black_box(secure_compare_batch(7, &pairs, 48)))
+    });
+}
+
 fn bench_difference(c: &mut Criterion) {
     c.bench_function("secure_difference", |b| {
         let mut seed = 0u64;
@@ -40,6 +65,6 @@ fn bench_difference(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_ot, bench_compare, bench_difference
+    targets = bench_ot, bench_compare, bench_compare_batch, bench_difference
 }
 criterion_main!(benches);

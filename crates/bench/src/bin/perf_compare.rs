@@ -1,0 +1,18 @@
+//! Perf trajectory: scalar vs bit-sliced comparison backends under the
+//! real OT circuits — mean ns per 48-bit comparison and MCMC iterations
+//! per second. Writes the machine-readable `BENCH_perf.json` record
+//! (`--json PATH` to relocate) that CI asserts the bit-sliced win on.
+use lumos_bench::{perf, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let report = perf::run(&args);
+    perf::table(&report).print();
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_perf.json".into());
+    let json = perf::to_json(&report, &args);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

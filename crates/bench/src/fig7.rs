@@ -1,6 +1,6 @@
 //! Figure 7: CDF of per-device workload with and without tree trimming.
 
-use lumos_balance::SecurityMode;
+use lumos_balance::{CompareBackend, SecurityMode};
 use lumos_common::stats::Ecdf;
 use lumos_common::table::{fmt2, Table};
 use lumos_core::construct_assignment;
@@ -31,6 +31,7 @@ pub fn run(args: &HarnessArgs) -> Vec<Fig7Result> {
                 true,
                 mcmc,
                 SecurityMode::CostModel,
+                CompareBackend::Scalar,
                 args.seed,
                 None,
             );
@@ -39,6 +40,7 @@ pub fn run(args: &HarnessArgs) -> Vec<Fig7Result> {
                 false,
                 0,
                 SecurityMode::CostModel,
+                CompareBackend::Scalar,
                 args.seed,
                 None,
             );

@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod hetero;
+pub mod perf;
 pub mod presets;
 pub mod table1;
 

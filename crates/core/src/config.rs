@@ -1,6 +1,6 @@
 //! Configuration of a Lumos run.
 
-use lumos_balance::{BalanceObjective, SecurityMode};
+use lumos_balance::{BalanceObjective, CompareBackend, SecurityMode};
 use lumos_gnn::Backbone;
 use lumos_sim::{AggregationPolicy, Scenario};
 
@@ -49,6 +49,12 @@ pub struct LumosConfig {
     pub mcmc_iterations: usize,
     /// Whether to run the real simulated crypto or its exact cost model.
     pub security: SecurityMode,
+    /// Which secure-comparison engine backs the tree constructor's
+    /// oracles. The default `Scalar` evaluates one circuit per comparison
+    /// and preserves the seed → bit-identical report/meter contract;
+    /// `Bitsliced` packs 64 independent comparisons per circuit (identical
+    /// outcomes, ~64× fewer OT messages on batched sweeps).
+    pub compare_backend: CompareBackend,
     /// Run seed (weights, LDP noise, MCMC, splits).
     pub seed: u64,
     /// Ablation: include virtual nodes (false = "Lumos w.o. VN").
@@ -99,6 +105,7 @@ impl LumosConfig {
             },
             mcmc_iterations: 300,
             security: SecurityMode::CostModel,
+            compare_backend: CompareBackend::Scalar,
             seed: 0x10_0A05,
             virtual_nodes: true,
             tree_trimming: true,
@@ -146,6 +153,12 @@ impl LumosConfig {
         self
     }
 
+    /// Builder-style: choose the secure-comparison engine.
+    pub fn with_compare_backend(mut self, backend: CompareBackend) -> Self {
+        self.compare_backend = backend;
+        self
+    }
+
     /// Builder-style: enable a heterogeneous-device scenario.
     pub fn with_scenario(mut self, scenario: Scenario) -> Self {
         self.scenario = Some(scenario);
@@ -180,6 +193,7 @@ mod tests {
         assert_eq!(c.epsilon, 2.0);
         assert_eq!(c.lr, 0.01);
         assert!(c.virtual_nodes && c.tree_trimming);
+        assert_eq!(c.compare_backend, CompareBackend::Scalar);
         assert_eq!(c.balance_objective, BalanceObjective::TreeNodes);
         assert_eq!(c.aggregation_policy, AggregationPolicy::FullSync);
         assert_eq!(TaskKind::Supervised.metric_name(), "accuracy");
@@ -193,6 +207,7 @@ mod tests {
             .with_epochs(10)
             .with_seed(9)
             .with_mcmc_iterations(50)
+            .with_compare_backend(CompareBackend::Bitsliced)
             .with_scenario(Scenario::StragglerTail)
             .with_balance_objective(BalanceObjective::VirtualSecs)
             .with_aggregation_policy(AggregationPolicy::Deadline { factor: 2.0 })
@@ -202,6 +217,7 @@ mod tests {
         assert_eq!(c.epochs, 10);
         assert_eq!(c.seed, 9);
         assert_eq!(c.mcmc_iterations, 50);
+        assert_eq!(c.compare_backend, CompareBackend::Bitsliced);
         assert_eq!(c.scenario, Some(Scenario::StragglerTail));
         assert_eq!(c.balance_objective, BalanceObjective::VirtualSecs);
         assert_eq!(

@@ -3,7 +3,8 @@
 //! "w.o. TT" ablation.
 
 use lumos_balance::{
-    greedy_init_weighted, make_oracle, mcmc_balance, Assignment, McmcConfig, SecurityMode,
+    greedy_init_weighted, make_oracle_backend, mcmc_balance, Assignment, CompareBackend,
+    McmcConfig, SecurityMode,
 };
 use lumos_common::timer::Stopwatch;
 use lumos_graph::Graph;
@@ -19,11 +20,18 @@ use crate::report::ConstructorReport;
 /// `VirtualSecs` objective: one fixed-point µs price per device-tree-node
 /// (see `DeviceProfile::micros_per_tree_node`). `None` is the paper's
 /// node-count objective, bit-identical to the historical behavior.
+///
+/// `backend` picks the secure-comparison engine behind the oracles:
+/// [`CompareBackend::Scalar`] is the per-comparison circuit (and the
+/// bit-identical default); [`CompareBackend::Bitsliced`] packs the
+/// whole-sweep batches Algorithms 1 and 3 submit into 64-lane words,
+/// cutting the constructor's OT traffic ~64× with identical outcomes.
 pub fn construct_assignment(
     g: &Graph,
     trimming: bool,
     mcmc_iterations: usize,
     security: SecurityMode,
+    backend: CompareBackend,
     seed: u64,
     node_costs: Option<&[u64]>,
 ) -> (Assignment, ConstructorReport) {
@@ -45,7 +53,7 @@ pub fn construct_assignment(
         return (assignment, report);
     }
 
-    let mut oracle = make_oracle(security, seed);
+    let mut oracle = make_oracle_backend(security, backend, seed);
     let init = greedy_init_weighted(g, node_costs, oracle.as_mut());
     let mcmc_cfg = McmcConfig {
         iterations: mcmc_iterations,
@@ -86,9 +94,24 @@ mod tests {
     #[test]
     fn trimming_cuts_the_maximum_workload() {
         let g = graph();
-        let (trimmed, rep) = construct_assignment(&g, true, 150, SecurityMode::CostModel, 3, None);
-        let (full, rep_full) =
-            construct_assignment(&g, false, 150, SecurityMode::CostModel, 3, None);
+        let (trimmed, rep) = construct_assignment(
+            &g,
+            true,
+            150,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            3,
+            None,
+        );
+        let (full, rep_full) = construct_assignment(
+            &g,
+            false,
+            150,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            3,
+            None,
+        );
         trimmed.check_feasible(&g).unwrap();
         full.check_feasible(&g).unwrap();
         assert_eq!(rep_full.max_workload, g.max_degree());
@@ -109,7 +132,15 @@ mod tests {
     #[test]
     fn trimming_reduces_total_workload_towards_edge_count() {
         let g = graph();
-        let (trimmed, _) = construct_assignment(&g, true, 50, SecurityMode::CostModel, 7, None);
+        let (trimmed, _) = construct_assignment(
+            &g,
+            true,
+            50,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            7,
+            None,
+        );
         let total = trimmed.total_workload();
         assert!(total >= g.num_edges(), "coverage requires ≥ |E|");
         assert!(
@@ -122,9 +153,60 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = graph();
-        let (a1, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11, None);
-        let (a2, _) = construct_assignment(&g, true, 40, SecurityMode::CostModel, 11, None);
+        let (a1, _) = construct_assignment(
+            &g,
+            true,
+            40,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            11,
+            None,
+        );
+        let (a2, _) = construct_assignment(
+            &g,
+            true,
+            40,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            11,
+            None,
+        );
         assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn bitsliced_backend_builds_the_identical_assignment_cheaper() {
+        let g = graph();
+        let (scalar, rep_scalar) = construct_assignment(
+            &g,
+            true,
+            60,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            5,
+            None,
+        );
+        let (sliced, rep_sliced) = construct_assignment(
+            &g,
+            true,
+            60,
+            SecurityMode::CostModel,
+            CompareBackend::Bitsliced,
+            5,
+            None,
+        );
+        assert_eq!(scalar, sliced, "outcome-identical engines, same trees");
+        assert_eq!(rep_scalar.mcmc_trace, rep_sliced.mcmc_trace);
+        assert_eq!(
+            rep_scalar.comparisons, rep_sliced.comparisons,
+            "logical comparison counts must match"
+        );
+        assert!(
+            rep_sliced.secure_comm.messages * 8 < rep_scalar.secure_comm.messages,
+            "bit-slicing must collapse constructor traffic: {} vs {}",
+            rep_sliced.secure_comm.messages,
+            rep_scalar.secure_comm.messages
+        );
     }
 
     #[test]
@@ -138,10 +220,24 @@ mod tests {
             .unwrap();
         let mut costs = vec![10u64; g.num_nodes()];
         costs[hub as usize] = 5_000;
-        let (plain, rep_plain) =
-            construct_assignment(&g, true, 150, SecurityMode::CostModel, 3, None);
-        let (weighted, rep) =
-            construct_assignment(&g, true, 150, SecurityMode::CostModel, 3, Some(&costs));
+        let (plain, rep_plain) = construct_assignment(
+            &g,
+            true,
+            150,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            3,
+            None,
+        );
+        let (weighted, rep) = construct_assignment(
+            &g,
+            true,
+            150,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            3,
+            Some(&costs),
+        );
         weighted.check_feasible(&g).unwrap();
         // The report says which objective actually ran — the signal that a
         // VirtualSecs request degenerated (no costs ⇒ weighted = false).

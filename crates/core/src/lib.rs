@@ -37,7 +37,7 @@ pub use batch::{build_batched, BatchedTrees};
 pub use config::{LumosConfig, TaskKind};
 pub use constructor::construct_assignment;
 pub use init::{exchange_features, LdpExchange};
-pub use lumos_balance::BalanceObjective;
+pub use lumos_balance::{BalanceObjective, CompareBackend};
 pub use lumos_sim::AggregationPolicy;
 pub use report::{ConstructorReport, EpochMetrics, RunReport, SimSummary};
 pub use trainer::run_lumos;

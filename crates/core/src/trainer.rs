@@ -85,6 +85,7 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         cfg.tree_trimming,
         cfg.mcmc_iterations,
         cfg.security,
+        cfg.compare_backend,
         cfg.seed,
         node_costs.as_deref(),
     );
@@ -532,6 +533,37 @@ mod tests {
         );
         assert!(trimmed.constructor.max_workload < untrimmed.constructor.max_workload);
         assert!(trimmed.avg_epoch_makespan < untrimmed.avg_epoch_makespan);
+    }
+
+    #[test]
+    fn bitsliced_backend_is_outcome_identical_with_cheaper_crypto() {
+        // The comparison engine decides only *how* orderings are computed:
+        // the trees, and therefore the entire training trajectory, must be
+        // bit-identical — while the constructor's secure traffic collapses.
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised).with_epochs(5);
+        let scalar = run_lumos(&ds, &cfg);
+        let sliced = run_lumos(
+            &ds,
+            &cfg.clone()
+                .with_compare_backend(lumos_balance::CompareBackend::Bitsliced),
+        );
+        assert_eq!(scalar.test_metric.to_bits(), sliced.test_metric.to_bits());
+        assert_eq!(scalar.final_loss().to_bits(), sliced.final_loss().to_bits());
+        assert_eq!(
+            scalar.constructor.max_workload,
+            sliced.constructor.max_workload
+        );
+        assert_eq!(
+            scalar.constructor.comparisons,
+            sliced.constructor.comparisons
+        );
+        assert!(
+            sliced.constructor.secure_comm.messages * 8 < scalar.constructor.secure_comm.messages,
+            "bit-slicing must collapse constructor traffic: {} vs {}",
+            sliced.constructor.secure_comm.messages,
+            scalar.constructor.secure_comm.messages
+        );
     }
 
     #[test]

@@ -43,17 +43,31 @@ pub struct TwoParty {
     rng_b: Xoshiro256pp,
     /// Communication tallies for the whole session.
     pub meter: CommMeter,
-    /// Values observed on the wire (masked share messages), recorded for
-    /// leakage tests.
-    pub transcript: Vec<bool>,
+    /// Values observed on the wire (masked share messages), recorded only
+    /// when the session was created with [`TwoParty::with_transcript`].
+    /// `None` by default: a long-lived session (e.g. a paper-scale MCMC
+    /// run) would otherwise grow its transcript without bound.
+    transcript: Option<Vec<bool>>,
     /// Number of AND gates evaluated.
     pub and_gates: u64,
 }
 
 impl TwoParty {
     /// Creates a session; `seed` drives the dealer and both parties' local
-    /// randomness (forked into independent streams).
+    /// randomness (forked into independent streams). Wire values are *not*
+    /// recorded — use [`TwoParty::with_transcript`] for leakage analyses.
     pub fn new(seed: u64) -> Self {
+        Self::build(seed, false)
+    }
+
+    /// Creates a session that records every wire value for leakage tests.
+    /// Identical protocol behavior (same RNG streams, meter, outputs); only
+    /// the bookkeeping differs.
+    pub fn with_transcript(seed: u64) -> Self {
+        Self::build(seed, true)
+    }
+
+    fn build(seed: u64, record: bool) -> Self {
         let mut root = Xoshiro256pp::seed_from_u64(seed);
         let rng_a = root.fork();
         let rng_b = root.fork();
@@ -62,8 +76,25 @@ impl TwoParty {
             rng_a,
             rng_b,
             meter: CommMeter::new(),
-            transcript: Vec::new(),
+            transcript: record.then(Vec::new),
             and_gates: 0,
+        }
+    }
+
+    /// The recorded wire values (empty unless the session was created with
+    /// [`TwoParty::with_transcript`]).
+    pub fn transcript(&self) -> &[bool] {
+        self.transcript.as_deref().unwrap_or(&[])
+    }
+
+    /// Whether this session records wire values.
+    pub fn records_transcript(&self) -> bool {
+        self.transcript.is_some()
+    }
+
+    fn record(&mut self, bit: bool) {
+        if let Some(t) = &mut self.transcript {
+            t.push(bit);
         }
     }
 
@@ -72,7 +103,7 @@ impl TwoParty {
         let mask = self.rng_a.bernoulli(0.5);
         // A keeps bit ^ mask, sends mask to B.
         self.meter.message(1);
-        self.transcript.push(mask);
+        self.record(mask);
         SharedBit {
             share_a: bit ^ mask,
             share_b: mask,
@@ -83,7 +114,7 @@ impl TwoParty {
     pub fn share_from_b(&mut self, bit: bool) -> SharedBit {
         let mask = self.rng_b.bernoulli(0.5);
         self.meter.message(1);
-        self.transcript.push(mask);
+        self.record(mask);
         SharedBit {
             share_a: mask,
             share_b: bit ^ mask,
@@ -131,8 +162,8 @@ impl TwoParty {
             &mut self.dealer,
             &mut self.meter,
         );
-        self.transcript.push(tr1.masked_choice);
-        self.transcript.push(tr2.masked_choice);
+        self.record(tr1.masked_choice);
+        self.record(tr2.masked_choice);
         SharedBit {
             share_a: (x.share_a & y.share_a) ^ (q_a != 0) ^ s_a,
             share_b: (x.share_b & y.share_b) ^ (q_b != 0) ^ s_b,
@@ -151,8 +182,8 @@ impl TwoParty {
         self.meter.message(1);
         self.meter.message(1);
         self.meter.round();
-        self.transcript.push(x.share_a);
-        self.transcript.push(x.share_b);
+        self.record(x.share_a);
+        self.record(x.share_b);
         x.share_a ^ x.share_b
     }
 
@@ -276,6 +307,47 @@ mod tests {
         }
         let frac = ones as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.03, "share bias {frac}");
+    }
+
+    #[test]
+    fn default_session_records_no_transcript() {
+        // Regression: the transcript used to grow unconditionally for the
+        // life of the session — unbounded memory in long balancing runs.
+        let mut ctx = TwoParty::new(6);
+        assert!(!ctx.records_transcript());
+        let x = ctx.share_from_a(true);
+        let y = ctx.share_from_b(false);
+        let z = ctx.and(x, y);
+        let _ = ctx.reveal(z);
+        assert!(
+            ctx.transcript().is_empty(),
+            "default sessions must not record"
+        );
+        assert!(ctx.meter.messages > 0, "the meter still counts");
+    }
+
+    #[test]
+    fn recording_session_behaves_identically() {
+        // Same seed, with and without recording: identical protocol outputs
+        // and meters — recording is pure bookkeeping.
+        let run = |record: bool| {
+            let mut ctx = if record {
+                TwoParty::with_transcript(9)
+            } else {
+                TwoParty::new(9)
+            };
+            let x = ctx.share_from_a(true);
+            let y = ctx.share_from_b(true);
+            let z = ctx.and(x, y);
+            (ctx.reveal(z), ctx.meter, ctx.transcript().len())
+        };
+        let (out_off, meter_off, len_off) = run(false);
+        let (out_on, meter_on, len_on) = run(true);
+        assert_eq!(out_off, out_on);
+        assert_eq!(meter_off, meter_on);
+        assert_eq!(len_off, 0);
+        // Shares ×2 + OT choices ×2 + reveal shares ×2.
+        assert_eq!(len_on, 6);
     }
 
     #[test]

@@ -216,9 +216,9 @@ mod tests {
         // Zero-knowledge sanity: the protocol's communication pattern must
         // not depend on the secret values (only on the bit width).
         let run = |a: u64, b: u64| {
-            let mut ctx = TwoParty::new(42);
+            let mut ctx = TwoParty::with_transcript(42);
             let _ = secure_compare(&mut ctx, a, b, 16);
-            (ctx.meter, ctx.transcript.len())
+            (ctx.meter, ctx.transcript().len())
         };
         let (m1, t1) = run(0, 0);
         let (m2, t2) = run(65_535, 0);
@@ -237,10 +237,10 @@ mod tests {
             let mut ones = 0usize;
             let mut total = 0usize;
             for seed in 0..300u64 {
-                let mut ctx = TwoParty::new(seed);
+                let mut ctx = TwoParty::with_transcript(seed);
                 let _ = secure_compare(&mut ctx, a, b, 10);
-                ones += ctx.transcript.iter().filter(|&&x| x).count();
-                total += ctx.transcript.len();
+                ones += ctx.transcript().iter().filter(|&&x| x).count();
+                total += ctx.transcript().len();
             }
             let frac = ones as f64 / total as f64;
             assert!(

@@ -14,9 +14,13 @@ pub mod circuit;
 pub mod compare;
 pub mod meter;
 pub mod ot;
+pub mod slice;
 
 pub use block_compare::{ot_transfer_1_of_n, secure_compare_blocks};
 pub use circuit::{SharedBit, TwoParty};
 pub use compare::{secure_compare, secure_difference, CompareOutcome};
 pub use meter::CommMeter;
-pub use ot::{ot_transfer, OtDealer, OtTranscript};
+pub use ot::{ot_transfer, ot_transfer_wide, OtDealer, OtTranscript, WideOtTranscript};
+pub use slice::{
+    secure_compare_batch, sliced_compare_word, BatchComparison, SharedWord, SlicedTwoParty, LANES,
+};

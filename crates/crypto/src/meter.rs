@@ -41,6 +41,17 @@ impl CommMeter {
         self.rounds += other.rounds;
     }
 
+    /// This meter scaled `n`-fold — the cost of `n` identical protocol
+    /// instances run side by side (e.g. the per-word cost model of a
+    /// batched comparison sweep).
+    pub fn times(&self, n: u64) -> CommMeter {
+        CommMeter {
+            messages: self.messages * n,
+            bytes: self.bytes * n,
+            rounds: self.rounds * n,
+        }
+    }
+
     /// Difference against an earlier snapshot (for per-phase accounting).
     pub fn since(&self, snapshot: &CommMeter) -> CommMeter {
         CommMeter {
@@ -64,6 +75,18 @@ mod tests {
         assert_eq!(m.messages, 2);
         assert_eq!(m.bytes, 20);
         assert_eq!(m.rounds, 1);
+    }
+
+    #[test]
+    fn times_scales_all_tallies() {
+        let mut m = CommMeter::new();
+        m.message(10);
+        m.round();
+        let tripled = m.times(3);
+        assert_eq!(tripled.messages, 3);
+        assert_eq!(tripled.bytes, 30);
+        assert_eq!(tripled.rounds, 3);
+        assert_eq!(m.times(0), CommMeter::new());
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub struct ReceiverPad {
     rc: u64,
 }
 
+/// Pads held by a *wide* OT receiver: 64 independent choice bits packed in
+/// one word, and the per-bit selected pad bits. Lane `j` of a wide OT is a
+/// complete 1-out-of-2 bit-OT; the bit-sliced comparison engine uses one
+/// wide OT where the scalar circuit would use 64 scalar OTs.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverWidePad {
+    c: u64,
+    rc: u64,
+}
+
 /// Dealer for correlated OT randomness (the simulated offline phase).
 #[derive(Debug, Clone)]
 pub struct OtDealer {
@@ -54,6 +64,19 @@ impl OtDealer {
         let rc = if c { r1 } else { r0 };
         self.dealt += 1;
         (SenderPad { r0, r1 }, ReceiverPad { c, rc })
+    }
+
+    /// Deals one random *wide* OT: 64 bit-OT instances packed into words.
+    /// The sender gets two pad words `(r0, r1)`; the receiver gets a choice
+    /// word `c` and the per-lane selected pad bits
+    /// `rc = (r0 & !c) | (r1 & c)`.
+    pub fn deal_wide(&mut self) -> (SenderPad, ReceiverWidePad) {
+        let r0 = self.rng.next_u64();
+        let r1 = self.rng.next_u64();
+        let c = self.rng.next_u64();
+        let rc = (r0 & !c) | (r1 & c);
+        self.dealt += 1;
+        (SenderPad { r0, r1 }, ReceiverWidePad { c, rc })
     }
 
     /// Deals one random 1-of-N OT: the sender gets `n` pads, the receiver a
@@ -112,6 +135,54 @@ pub fn ot_transfer(
     )
 }
 
+/// One observed *wide* OT transcript (for leakage analysis in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideOtTranscript {
+    /// The receiver's masked choice word (seen by the sender).
+    pub masked_choice: u64,
+    /// The sender's two ciphertext words (seen by the receiver).
+    pub ciphertexts: [u64; 2],
+}
+
+/// Executes 64 chosen-input 1-out-of-2 bit-OTs packed into one word
+/// exchange, using a dealt random wide OT.
+///
+/// Lane `j` (bit `j` of every word) is an independent OT: the sender inputs
+/// message bits `(m0_j, m1_j)`, the receiver inputs choice bit `choice_j`
+/// and obtains `m_{choice_j}` in bit `j` of the output. The online traffic
+/// is one 8-byte masked choice word and one 16-byte ciphertext pair —
+/// exactly the message *count* of a single scalar OT, amortized over 64
+/// protocol instances.
+pub fn ot_transfer_wide(
+    m0: u64,
+    m1: u64,
+    choice: u64,
+    dealer: &mut OtDealer,
+    meter: &mut CommMeter,
+) -> (u64, WideOtTranscript) {
+    let (s, r) = dealer.deal_wide();
+    // Receiver → sender: d = choice XOR c, lane-wise. One word.
+    let d = choice ^ r.c;
+    meter.message(8);
+    // Sender → receiver: per-lane ciphertexts aligned so the lane's chosen
+    // position decrypts under the receiver's pad bit (the bitwise mux of the
+    // scalar protocol's `if d { swap }`).
+    let k0 = (s.r0 & !d) | (s.r1 & d);
+    let k1 = (s.r1 & !d) | (s.r0 & d);
+    let e0 = m0 ^ k0;
+    let e1 = m1 ^ k1;
+    meter.message(16);
+    // Round accounting is left to the caller, as for the scalar OT.
+    let out = ((e0 & !choice) | (e1 & choice)) ^ r.rc;
+    (
+        out,
+        WideOtTranscript {
+            masked_choice: d,
+            ciphertexts: [e0, e1],
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +221,53 @@ mod tests {
                 .count();
             let frac = ones as f64 / n as f64;
             assert!((frac - 0.5).abs() < 0.02, "choice={choice}: {frac}");
+        }
+    }
+
+    #[test]
+    fn wide_ot_selects_per_lane() {
+        // Every lane is an independent OT: bit j of the output must be
+        // m0's bit where choice_j = 0 and m1's bit where choice_j = 1.
+        let mut dealer = OtDealer::new(13);
+        let mut meter = CommMeter::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for _ in 0..200 {
+            let m0 = rng.next_u64();
+            let m1 = rng.next_u64();
+            let choice = rng.next_u64();
+            let (out, _) = ot_transfer_wide(m0, m1, choice, &mut dealer, &mut meter);
+            assert_eq!(out, (m0 & !choice) | (m1 & choice));
+        }
+        // Two messages per wide OT — the same count a single scalar OT pays.
+        assert_eq!(meter.messages, 400);
+        assert_eq!(meter.bytes, 200 * 24);
+    }
+
+    #[test]
+    fn wide_ot_degenerates_to_scalar_semantics_on_lane_zero() {
+        let mut dealer = OtDealer::new(21);
+        let mut meter = CommMeter::new();
+        let (out0, _) = ot_transfer_wide(0, 1, 0, &mut dealer, &mut meter);
+        let (out1, _) = ot_transfer_wide(0, 1, 1, &mut dealer, &mut meter);
+        assert_eq!(out0 & 1, 0);
+        assert_eq!(out1 & 1, 1);
+    }
+
+    #[test]
+    fn wide_masked_choice_is_unbiased_per_lane() {
+        // The sender's view (the masked choice word) must look uniform for
+        // any fixed choice word — otherwise lane choices leak.
+        for &choice in &[0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA] {
+            let mut dealer = OtDealer::new(31);
+            let mut meter = CommMeter::new();
+            let n = 4_000u32;
+            let mut ones = 0u64;
+            for _ in 0..n {
+                let (_, tr) = ot_transfer_wide(1, 2, choice, &mut dealer, &mut meter);
+                ones += tr.masked_choice.count_ones() as u64;
+            }
+            let frac = ones as f64 / (n as f64 * 64.0);
+            assert!((frac - 0.5).abs() < 0.02, "choice={choice:#x}: {frac}");
         }
     }
 

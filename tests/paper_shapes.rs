@@ -3,7 +3,7 @@
 //! distribution looks like. These are the invariants `EXPERIMENTS.md`
 //! documents at full scale.
 
-use lumos::balance::SecurityMode;
+use lumos::balance::{CompareBackend, SecurityMode};
 use lumos::baselines::{run_centralized, run_naive_fedgnn, BaselineConfig, NaiveFedParams};
 use lumos::core::{construct_assignment, run_lumos, LumosConfig, TaskKind};
 use lumos::data::{Dataset, Scale};
@@ -48,8 +48,15 @@ fn figure7_shape_trimming_cuts_the_tail() {
         Dataset::facebook_like(Scale::Smoke),
         Dataset::lastfm_like(Scale::Smoke),
     ] {
-        let (trimmed, rep) =
-            construct_assignment(&ds.graph, true, 40, SecurityMode::CostModel, 1, None);
+        let (trimmed, rep) = construct_assignment(
+            &ds.graph,
+            true,
+            40,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            1,
+            None,
+        );
         trimmed.check_feasible(&ds.graph).unwrap();
         // The paper's Fig. 7 headline: the trimmed maximum is a fraction of
         // the untrimmed one (39 vs >150 on Facebook; 16 vs >100 on LastFM).

@@ -74,9 +74,9 @@ proptest! {
         b in 0u64..256,
     ) {
         let run = |x: u64, y: u64| {
-            let mut ctx = TwoParty::new(7);
+            let mut ctx = TwoParty::with_transcript(7);
             let _ = secure_compare(&mut ctx, x, y, 8);
-            (ctx.meter, ctx.transcript.len())
+            (ctx.meter, ctx.transcript().len())
         };
         prop_assert_eq!(run(a, b), run(0, 255));
     }
