@@ -16,6 +16,7 @@ pub mod maxfind;
 pub mod mcmc;
 pub mod oracle;
 pub mod problem;
+pub mod rebalance;
 
 pub use analysis::{degree_ecdf, summarize, workload_ecdf, BalanceSummary};
 pub use exact::{solve_exact, ExactSolution};
@@ -33,3 +34,4 @@ pub use oracle::{
     CompareOracle, MeteredPlainOracle, SecureOracle, SecurityMode,
 };
 pub use problem::{objective_lower_bound, Assignment, BalanceObjective};
+pub use rebalance::{rebalance_assignment, RebalanceOutcome};

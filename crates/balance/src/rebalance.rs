@@ -1,0 +1,146 @@
+//! Incremental live re-balancing of an existing assignment.
+//!
+//! The constructor's greedy + MCMC balancers (§V) run once, up front, on
+//! round-0 prices. When the fleet's live per-node prices drift during
+//! training — a device churns out (its price inflates by the
+//! unavailability factor) or slows down — the trainer can migrate work
+//! *incrementally* instead of re-running the whole constructor:
+//! [`rebalance_assignment`] drains each overloaded device by handing every
+//! retained edge `(u, v)` to its other endpoint `v` whenever `v` is
+//! currently cheaper. The move is always feasibility-preserving (Eq. 16's
+//! transition: `v` picks up `u`, the edge stays covered) and purely
+//! price-directed, so it is deterministic given the price vector.
+
+use crate::problem::Assignment;
+
+/// Outcome of one [`rebalance_assignment`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalanceOutcome {
+    /// Tree nodes (retained edges) moved off overloaded devices.
+    pub moved_nodes: usize,
+    /// Devices that lost at least one node, sorted by id.
+    pub drained: Vec<u32>,
+}
+
+/// Migrates work off each device in `overloaded`: every retained edge
+/// `(u, v)` whose other endpoint `v` is strictly cheaper under `prices`
+/// moves into `v`'s tree (`N_u ← N_u \ {v}`, `N_v ← N_v ∪ {u}`). Edges
+/// whose other endpoint is at least as expensive stay put — migrating them
+/// would not reduce the weighted makespan.
+///
+/// Deterministic: devices are processed in the order given, each device's
+/// retained set in sorted order.
+///
+/// # Panics
+/// Panics if `prices` does not have one entry per device or `overloaded`
+/// names a device out of range.
+pub fn rebalance_assignment(
+    a: &mut Assignment,
+    prices: &[u64],
+    overloaded: &[u32],
+) -> RebalanceOutcome {
+    assert_eq!(
+        prices.len(),
+        a.num_devices(),
+        "one live price per device: got {} prices for {} devices",
+        prices.len(),
+        a.num_devices(),
+    );
+    let mut outcome = RebalanceOutcome::default();
+    for &u in overloaded {
+        assert!(
+            (u as usize) < a.num_devices(),
+            "overloaded device {u} out of range"
+        );
+        let mut moved_here = 0usize;
+        for v in a.kept(u).to_vec() {
+            if prices[v as usize] < prices[u as usize] && a.transfer(u, v) {
+                moved_here += 1;
+            }
+        }
+        if moved_here > 0 {
+            outcome.moved_nodes += moved_here;
+            outcome.drained.push(u);
+        }
+    }
+    outcome.drained.sort_unstable();
+    outcome.drained.dedup();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_graph::Graph;
+
+    fn star_graph() -> Graph {
+        // Hub 0 with spokes 1..=4.
+        Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn overloaded_hub_drains_to_cheaper_spokes() {
+        let g = star_graph();
+        // Hub keeps everything (workloads 4,0,0,0,0).
+        let mut a = Assignment::from_sets(vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]]);
+        a.check_feasible(&g).unwrap();
+        // Hub is 4× the spokes' price (it churned out); every spoke is
+        // cheaper, so every edge migrates.
+        let prices = vec![400, 100, 100, 100, 100];
+        let out = rebalance_assignment(&mut a, &prices, &[0]);
+        assert_eq!(out.moved_nodes, 4);
+        assert_eq!(out.drained, vec![0]);
+        assert_eq!(a.workload(0), 0);
+        for v in 1..5u32 {
+            assert_eq!(a.kept(v), &[0], "spoke {v} must have picked up the hub");
+        }
+        a.check_feasible(&g).unwrap();
+    }
+
+    #[test]
+    fn edges_never_move_to_pricier_endpoints() {
+        let g = star_graph();
+        let mut a = Assignment::from_sets(vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]]);
+        // Spokes 3 and 4 are *more* expensive than the hub: their edges
+        // stay, the cheap spokes' edges move.
+        let prices = vec![400, 100, 100, 900, 900];
+        let out = rebalance_assignment(&mut a, &prices, &[0]);
+        assert_eq!(out.moved_nodes, 2);
+        assert_eq!(a.kept(0), &[3, 4]);
+        a.check_feasible(&g).unwrap();
+    }
+
+    #[test]
+    fn cheapest_device_is_a_noop() {
+        let g = star_graph();
+        let mut a = Assignment::from_sets(vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]]);
+        let before = a.clone();
+        let prices = vec![100, 400, 400, 400, 400];
+        let out = rebalance_assignment(&mut a, &prices, &[0]);
+        assert_eq!(out, RebalanceOutcome::default());
+        assert_eq!(a, before);
+        a.check_feasible(&g).unwrap();
+    }
+
+    #[test]
+    fn rebalance_is_deterministic() {
+        let run = || {
+            let mut a =
+                Assignment::from_sets(vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]]);
+            let prices = vec![400, 100, 500, 100, 100];
+            let out = rebalance_assignment(&mut a, &prices, &[0, 2]);
+            (a, out)
+        };
+        let (a1, o1) = run();
+        let (a2, o2) = run();
+        assert_eq!(a1, a2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one live price per device")]
+    fn mismatched_price_vector_panics() {
+        let mut a = Assignment::from_sets(vec![vec![1], vec![]]);
+        rebalance_assignment(&mut a, &[1], &[0]);
+    }
+}

@@ -2,18 +2,22 @@
 //!
 //! The paper evaluates tree trimming on identical devices (Fig. 8). This
 //! sweep replays the same workload through `lumos-sim` under each
-//! [`Scenario`] preset and reports the simulated epoch makespan four ways:
+//! [`Scenario`] preset and reports the simulated epoch makespan five ways:
 //! trimmed under the paper's node-count objective, trimmed under the
 //! capability-weighted [`BalanceObjective::VirtualSecs`] objective,
 //! trimmed under the semi-synchronous deadline aggregation policy
-//! ([`AggregationPolicy::Deadline`] at [`DEADLINE_FACTOR`]), and
-//! untrimmed. Four claims become measurable: the makespan ordering
-//! `Uniform < StragglerTail` for the same workload, the growth of
-//! trimming's win as capability heterogeneity compounds the degree
-//! heterogeneity the trimmer targets, the additional win of balancing
-//! virtual seconds instead of tree nodes once devices stop being equals,
-//! and the barrier time the deadline buys back by dropping late updates
-//! (`late_drops` counts what that costs in participation).
+//! ([`AggregationPolicy::Deadline`] at [`DEADLINE_FACTOR`]), trimmed under
+//! the buffered policy ([`AggregationPolicy::Buffered`] at the same factor
+//! and [`BUFFERED_DECAY`]), and untrimmed. Five claims become measurable:
+//! the makespan ordering `Uniform < StragglerTail` for the same workload,
+//! the growth of trimming's win as capability heterogeneity compounds the
+//! degree heterogeneity the trimmer targets, the additional win of
+//! balancing virtual seconds instead of tree nodes once devices stop being
+//! equals, the barrier time the deadline buys back by dropping late
+//! updates (`late_drops` counts what that costs in participation), and
+//! that buffering keeps that barrier win while wasting nothing
+//! (`buffered_updates` banked, `wasted_updates` zero, `migrated_nodes`
+//! moved off overloaded devices).
 //!
 //! [`to_json`] renders the sweep as the machine-readable `BENCH_fig8.json`
 //! record the perf-trajectory tooling consumes.
@@ -33,6 +37,10 @@ use crate::presets::{mcmc_iterations_for, run_pair};
 /// after `2 × median` delivery are dropped from the round.
 pub const DEADLINE_FACTOR: f64 = 2.0;
 
+/// Per-round staleness discount for the sweep's buffered column: a late
+/// update blends into its arrival round at `0.5^staleness`.
+pub const BUFFERED_DECAY: f64 = 0.5;
+
 /// One scenario's cost comparison (two trimmed objectives and the deadline
 /// policy vs untrimmed).
 #[derive(Debug, Clone)]
@@ -48,6 +56,9 @@ pub struct HeteroRow {
     /// Simulated seconds per epoch, trimmed, node-count objective under
     /// the deadline aggregation policy ([`DEADLINE_FACTOR`]).
     pub makespan_deadline: f64,
+    /// Simulated seconds per epoch, trimmed, node-count objective under
+    /// the buffered policy ([`DEADLINE_FACTOR`], [`BUFFERED_DECAY`]).
+    pub makespan_buffered: f64,
     /// Simulated seconds per epoch without tree trimming.
     pub makespan_untrimmed: f64,
     /// Mean device utilization under the node-count objective.
@@ -64,6 +75,14 @@ pub struct HeteroRow {
     /// Device-rounds dropped by the deadline policy (the participation
     /// price of `makespan_deadline`).
     pub late_drops: u64,
+    /// Late updates the buffered run banked for a later round.
+    pub buffered_updates: u64,
+    /// Late updates the buffered run discarded forever (zero by
+    /// construction — asserted by the CI smoke gate).
+    pub wasted_updates: u64,
+    /// Tree nodes the buffered run's live re-balancer moved off
+    /// overloaded devices.
+    pub migrated_nodes: u64,
 }
 
 impl HeteroRow {
@@ -93,6 +112,13 @@ impl HeteroRow {
     /// full-sync barrier on the same (node-count, trimmed) placement.
     pub fn deadline_win_secs(&self) -> f64 {
         self.makespan_tree_nodes - self.makespan_deadline
+    }
+
+    /// Absolute seconds per epoch the buffered policy saves over the
+    /// full-sync barrier — the win that must survive buffering instead of
+    /// discarding late work.
+    pub fn buffered_win_secs(&self) -> f64 {
+        self.makespan_tree_nodes - self.makespan_buffered
     }
 }
 
@@ -134,7 +160,11 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
     let deadline_policy = AggregationPolicy::Deadline {
         factor: DEADLINE_FACTOR,
     };
-    let (tree_nodes, (virtual_secs, (deadline, untrimmed))) = run_pair(
+    let buffered_policy = AggregationPolicy::Buffered {
+        factor: DEADLINE_FACTOR,
+        decay: BUFFERED_DECAY,
+    };
+    let (tree_nodes, (virtual_secs, (deadline, (buffered, untrimmed)))) = run_pair(
         || {
             summary(
                 ds,
@@ -167,12 +197,25 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
                             )
                         },
                         || {
-                            summary(
-                                ds,
-                                &base,
-                                BalanceObjective::TreeNodes,
-                                false,
-                                AggregationPolicy::FullSync,
+                            run_pair(
+                                || {
+                                    summary(
+                                        ds,
+                                        &base,
+                                        BalanceObjective::TreeNodes,
+                                        true,
+                                        buffered_policy,
+                                    )
+                                },
+                                || {
+                                    summary(
+                                        ds,
+                                        &base,
+                                        BalanceObjective::TreeNodes,
+                                        false,
+                                        AggregationPolicy::FullSync,
+                                    )
+                                },
                             )
                         },
                     )
@@ -186,6 +229,7 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
         makespan_tree_nodes: tree_nodes.avg_epoch_virtual_secs,
         makespan_virtual_secs: virtual_secs.avg_epoch_virtual_secs,
         makespan_deadline: deadline.avg_epoch_virtual_secs,
+        makespan_buffered: buffered.avg_epoch_virtual_secs,
         makespan_untrimmed: untrimmed.avg_epoch_virtual_secs,
         utilization_tree_nodes: tree_nodes.mean_utilization,
         utilization_virtual_secs: virtual_secs.mean_utilization,
@@ -193,16 +237,19 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
         dominant_straggler: tree_nodes.dominant_straggler(),
         dropped_device_rounds: tree_nodes.dropped_device_rounds,
         late_drops: deadline.late_drops,
+        buffered_updates: buffered.buffered_updates,
+        wasted_updates: buffered.wasted_updates,
+        migrated_nodes: buffered.migrated_nodes,
     }
 }
 
 /// Runs the scenario sweep on the primary dataset. Quick mode restricts
-/// the sweep to the two scenarios the CI smoke gate asserts on (uniform
-/// and the straggler tail).
+/// the sweep to the three scenarios the CI smoke gate asserts on (uniform,
+/// the straggler tail, and churn).
 pub fn run(args: &HarnessArgs) -> Vec<HeteroRow> {
     let ds = Dataset::facebook_like(args.scale);
     let scenarios: &[Scenario] = if args.quick {
-        &[Scenario::Uniform, Scenario::StragglerTail]
+        &[Scenario::Uniform, Scenario::StragglerTail, Scenario::Churn]
     } else {
         &Scenario::ALL
     };
@@ -222,10 +269,15 @@ pub fn table(rows: &[HeteroRow]) -> Table {
             "epoch secs (nodes)",
             "epoch secs (vsecs)",
             "epoch secs (deadline)",
+            "epoch secs (buffered)",
             "epoch secs w.o. TT",
             "vsecs win",
             "deadline win",
+            "buffered win",
             "late drops",
+            "buffered",
+            "wasted",
+            "moved nodes",
             "saved secs",
             "saved %",
             "util (nodes)",
@@ -241,10 +293,15 @@ pub fn table(rows: &[HeteroRow]) -> Table {
             fmt2(r.makespan_tree_nodes),
             fmt2(r.makespan_virtual_secs),
             fmt2(r.makespan_deadline),
+            fmt2(r.makespan_buffered),
             fmt2(r.makespan_untrimmed),
             fmt2(r.weighted_win_secs()),
             fmt2(r.deadline_win_secs()),
+            fmt2(r.buffered_win_secs()),
             r.late_drops.to_string(),
+            r.buffered_updates.to_string(),
+            r.wasted_updates.to_string(),
+            r.migrated_nodes.to_string(),
             fmt2(r.saved_secs()),
             fmt2(r.saved_pct()),
             fmt2(r.utilization_tree_nodes),
@@ -296,10 +353,15 @@ pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
                     "      \"makespan_tree_nodes\": {},\n",
                     "      \"makespan_virtual_secs\": {},\n",
                     "      \"makespan_deadline\": {},\n",
+                    "      \"makespan_buffered\": {},\n",
                     "      \"makespan_untrimmed\": {},\n",
                     "      \"weighted_win_secs\": {},\n",
                     "      \"deadline_win_secs\": {},\n",
+                    "      \"buffered_win_secs\": {},\n",
                     "      \"late_drops\": {},\n",
+                    "      \"buffered_updates\": {},\n",
+                    "      \"wasted_updates\": {},\n",
+                    "      \"migrated_nodes\": {},\n",
                     "      \"saved_secs\": {},\n",
                     "      \"utilization_tree_nodes\": {},\n",
                     "      \"utilization_virtual_secs\": {},\n",
@@ -313,10 +375,15 @@ pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
                 json_num(r.makespan_tree_nodes),
                 json_num(r.makespan_virtual_secs),
                 json_num(r.makespan_deadline),
+                json_num(r.makespan_buffered),
                 json_num(r.makespan_untrimmed),
                 json_num(r.weighted_win_secs()),
                 json_num(r.deadline_win_secs()),
+                json_num(r.buffered_win_secs()),
                 r.late_drops,
+                r.buffered_updates,
+                r.wasted_updates,
+                r.migrated_nodes,
                 json_num(r.saved_secs()),
                 json_num(r.utilization_tree_nodes),
                 json_num(r.utilization_virtual_secs),
@@ -396,7 +463,34 @@ mod tests {
         );
         assert!(tail.late_drops > 0, "the tail must breach the deadline");
         assert!(tail.deadline_win_secs() > 0.0);
+        // Buffering banks the tail's late updates instead of wasting them —
+        // and keeps nearly all of the deadline's barrier win.
+        assert!(tail.buffered_updates > 0);
+        assert_eq!(tail.wasted_updates, 0);
+        assert!(
+            tail.buffered_win_secs() >= 0.95 * tail.deadline_win_secs(),
+            "buffered win {} must keep ≥95% of deadline win {}",
+            tail.buffered_win_secs(),
+            tail.deadline_win_secs()
+        );
         assert_eq!(table(&[uniform, tail]).len(), 2);
+    }
+
+    #[test]
+    fn churn_row_banks_updates_and_migrates() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let args = smoke_args();
+        let churn = eval_scenario(&ds, Scenario::Churn, &args);
+        assert!(churn.dropped_device_rounds > 0, "churn must bite");
+        assert!(
+            churn.buffered_updates > 0,
+            "churned stragglers must land in the buffer"
+        );
+        assert_eq!(churn.wasted_updates, 0);
+        assert!(
+            churn.migrated_nodes > 0,
+            "sustained absence must trigger live migration"
+        );
     }
 
     #[test]
@@ -409,6 +503,7 @@ mod tests {
                 makespan_tree_nodes: 10.25,
                 makespan_virtual_secs: 10.25,
                 makespan_deadline: 10.25,
+                makespan_buffered: 10.25,
                 makespan_untrimmed: 20.5,
                 utilization_tree_nodes: 0.8,
                 utilization_virtual_secs: 0.8,
@@ -416,6 +511,9 @@ mod tests {
                 dominant_straggler: Some((3, 5)),
                 dropped_device_rounds: 0,
                 late_drops: 0,
+                buffered_updates: 0,
+                wasted_updates: 0,
+                migrated_nodes: 0,
             },
             HeteroRow {
                 dataset: "facebook-smoke".into(),
@@ -423,6 +521,7 @@ mod tests {
                 makespan_tree_nodes: 40.0,
                 makespan_virtual_secs: 31.5,
                 makespan_deadline: 12.5,
+                makespan_buffered: 13.0,
                 makespan_untrimmed: 90.0,
                 utilization_tree_nodes: 0.3,
                 utilization_virtual_secs: 0.4,
@@ -430,6 +529,9 @@ mod tests {
                 dominant_straggler: None,
                 dropped_device_rounds: 7,
                 late_drops: 11,
+                buffered_updates: 9,
+                wasted_updates: 0,
+                migrated_nodes: 4,
             },
         ];
         let json = to_json(&rows, &args);
@@ -446,7 +548,11 @@ mod tests {
         assert!(json.contains("\"dominant_straggler\": null"));
         assert!(json.contains("\"weighted_win_secs\": 8.5"));
         assert!(json.contains("\"deadline_win_secs\": 27.5"));
+        assert!(json.contains("\"buffered_win_secs\": 27.0"));
         assert!(json.contains("\"late_drops\": 11"));
+        assert!(json.contains("\"buffered_updates\": 9"));
+        assert!(json.contains("\"wasted_updates\": 0"));
+        assert!(json.contains("\"migrated_nodes\": 4"));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -15,10 +15,22 @@ use lumos_tensor::Tensor;
 use crate::init::LdpExchange;
 use crate::tree::{DeviceTree, TreeNode};
 
-/// POOL index arrays: `(gather leaves, scatter vertices, per-vertex mean
-/// coefficients)` — shared-ownership copies so a per-round mask can swap
-/// them without touching the batch.
-pub type PoolArrays = (Rc<Vec<u32>>, Rc<Vec<u32>>, Rc<Vec<f32>>);
+/// POOL index arrays for one round's aggregation — shared-ownership copies
+/// so a per-round mask can swap them without touching the batch.
+#[derive(Debug, Clone)]
+pub struct PoolArrays {
+    /// Batched node ids to gather (the pooled leaves).
+    pub leaves: Rc<Vec<u32>>,
+    /// Global vertex each gathered leaf scatters into.
+    pub vertices: Rc<Vec<u32>>,
+    /// Per-vertex mean coefficients (`1 / contribution` per vertex).
+    pub coeff: Rc<Vec<f32>>,
+    /// Optional per-leaf scale applied between gather and scatter-add.
+    /// `Some` only for fractionally weighted pools (the buffered policy's
+    /// staleness blending); `None` keeps the default op sequence — and with
+    /// it the default path's bitstream — untouched.
+    pub leaf_weights: Option<Rc<Vec<f32>>>,
+}
 
 /// The batched forest plus everything the trainer needs.
 #[derive(Debug)]
@@ -58,11 +70,12 @@ impl BatchedTrees {
     /// default full-sync path is bit-identical.
     pub fn masked_pool(&self, dropped: &[u32]) -> PoolArrays {
         if dropped.is_empty() {
-            return (
-                self.pool_leaves.clone(),
-                self.pool_vertices.clone(),
-                self.pool_coeff.clone(),
-            );
+            return PoolArrays {
+                leaves: self.pool_leaves.clone(),
+                vertices: self.pool_vertices.clone(),
+                coeff: self.pool_coeff.clone(),
+                leaf_weights: None,
+            };
         }
         let mut is_dropped = vec![false; self.num_vertices];
         for &d in dropped {
@@ -88,7 +101,82 @@ impl BatchedTrees {
             .iter()
             .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
             .collect();
-        (Rc::new(leaves), Rc::new(vertices), Rc::new(coeff))
+        PoolArrays {
+            leaves: Rc::new(leaves),
+            vertices: Rc::new(vertices),
+            coeff: Rc::new(coeff),
+            leaf_weights: None,
+        }
+    }
+
+    /// POOL arrays with each device's contribution scaled by
+    /// `weights[owner]` — the staleness-weighted generalization of
+    /// [`BatchedTrees::masked_pool`] (Eq. 31 as a weighted mean): weight 0
+    /// removes a device's leaves exactly like a mask, a fractional weight
+    /// scales each of its leaf rows before the scatter-add, and each
+    /// vertex's mean coefficient renormalizes by the surviving weight sum.
+    /// A device may legitimately weigh more than 1 when its fresh update
+    /// and a buffered stale one pool in the same round.
+    ///
+    /// Bit-compatibility: all-ones weights return the original arrays
+    /// untouched (same `Rc`s), and a pure 0/1 mask produces integer-count
+    /// coefficients identical to `masked_pool` of the zero-weight set — so
+    /// the buffered policy with nothing buffered is bitwise the deadline.
+    pub fn weighted_pool(&self, weights: &[f32]) -> PoolArrays {
+        assert_eq!(weights.len(), self.num_vertices, "one weight per device");
+        debug_assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "pool weights must be finite and non-negative"
+        );
+        if weights.iter().all(|&w| w == 1.0) {
+            return self.masked_pool(&[]);
+        }
+        let mut leaves = Vec::with_capacity(self.pool_leaves.len());
+        let mut vertices = Vec::with_capacity(self.pool_vertices.len());
+        let mut leaf_weights = Vec::with_capacity(self.pool_leaves.len());
+        let mut counts = vec![0u32; self.num_vertices];
+        let mut weight_sums = vec![0.0f64; self.num_vertices];
+        let mut uniform = true;
+        for ((&leaf, &vertex), &owner) in self
+            .pool_leaves
+            .iter()
+            .zip(self.pool_vertices.iter())
+            .zip(self.pool_owners.iter())
+        {
+            let w = weights[owner as usize];
+            if w == 0.0 {
+                continue;
+            }
+            if w != 1.0 {
+                uniform = false;
+            }
+            leaves.push(leaf);
+            vertices.push(vertex);
+            leaf_weights.push(w);
+            counts[vertex as usize] += 1;
+            weight_sums[vertex as usize] += w as f64;
+        }
+        let coeff: Vec<f32> = if uniform {
+            counts
+                .iter()
+                .map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 })
+                .collect()
+        } else {
+            weight_sums
+                .iter()
+                .map(|&s| if s == 0.0 { 0.0 } else { (1.0 / s) as f32 })
+                .collect()
+        };
+        PoolArrays {
+            leaves: Rc::new(leaves),
+            vertices: Rc::new(vertices),
+            coeff: Rc::new(coeff),
+            leaf_weights: if uniform {
+                None
+            } else {
+                Some(Rc::new(leaf_weights))
+            },
+        }
     }
 }
 
@@ -253,24 +341,73 @@ mod tests {
         let (trees, features, dim, ex) = build_example();
         let batch = build_batched(&trees, &features, dim, &ex);
         // No drops: the untouched arrays come back — same allocations.
-        let (l, v, c) = batch.masked_pool(&[]);
-        assert!(Rc::ptr_eq(&l, &batch.pool_leaves));
-        assert!(Rc::ptr_eq(&v, &batch.pool_vertices));
-        assert!(Rc::ptr_eq(&c, &batch.pool_coeff));
+        let p = batch.masked_pool(&[]);
+        assert!(Rc::ptr_eq(&p.leaves, &batch.pool_leaves));
+        assert!(Rc::ptr_eq(&p.vertices, &batch.pool_vertices));
+        assert!(Rc::ptr_eq(&p.coeff, &batch.pool_coeff));
+        assert!(p.leaf_weights.is_none());
         // Drop device 1 (the path's middle): its 4 leaves vanish.
-        let (l, v, c) = batch.masked_pool(&[1]);
-        assert_eq!(l.len(), 4);
-        assert_eq!(v.len(), 4);
+        let p = batch.masked_pool(&[1]);
+        assert_eq!(p.leaves.len(), 4);
+        assert_eq!(p.vertices.len(), 4);
         // Vertex 1 keeps only its neighbor-leaf copies in trees 0 and 2.
-        assert_eq!(v.iter().filter(|&&x| x == 1).count(), 2);
-        assert!((c[1] - 0.5).abs() < 1e-7);
+        assert_eq!(p.vertices.iter().filter(|&&x| x == 1).count(), 2);
+        assert!((p.coeff[1] - 0.5).abs() < 1e-7);
         // Vertices 0 and 2 lose the copies tree 1 carried: one survivor
         // each (their own center leaf), coefficient 1.
-        assert!((c[0] - 1.0).abs() < 1e-7 && (c[2] - 1.0).abs() < 1e-7);
+        assert!((p.coeff[0] - 1.0).abs() < 1e-7 && (p.coeff[2] - 1.0).abs() < 1e-7);
         // Drop everything: the pool empties and every coefficient is 0.
-        let (l, _, c) = batch.masked_pool(&[0, 1, 2]);
-        assert!(l.is_empty());
-        assert!(c.iter().all(|&x| x == 0.0));
+        let p = batch.masked_pool(&[0, 1, 2]);
+        assert!(p.leaves.is_empty());
+        assert!(p.coeff.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn all_ones_weights_are_the_identity_pool() {
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        let p = batch.weighted_pool(&[1.0; 3]);
+        assert!(Rc::ptr_eq(&p.leaves, &batch.pool_leaves));
+        assert!(Rc::ptr_eq(&p.vertices, &batch.pool_vertices));
+        assert!(Rc::ptr_eq(&p.coeff, &batch.pool_coeff));
+        assert!(p.leaf_weights.is_none());
+    }
+
+    #[test]
+    fn zero_one_weights_match_the_mask_bit_for_bit() {
+        // A pure 0/1 weighting is a mask: same arrays, same integer-count
+        // coefficients, no per-leaf scaling op.
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        let masked = batch.masked_pool(&[1]);
+        let weighted = batch.weighted_pool(&[1.0, 0.0, 1.0]);
+        assert_eq!(*weighted.leaves, *masked.leaves);
+        assert_eq!(*weighted.vertices, *masked.vertices);
+        for (a, b) in weighted.coeff.iter().zip(masked.coeff.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(weighted.leaf_weights.is_none());
+    }
+
+    #[test]
+    fn fractional_weights_scale_and_renormalize() {
+        let (trees, features, dim, ex) = build_example();
+        let batch = build_batched(&trees, &features, dim, &ex);
+        // Device 1 pools at half weight (a stale update one round old at
+        // decay 0.5); devices 0 and 2 are fresh.
+        let p = batch.weighted_pool(&[1.0, 0.5, 1.0]);
+        // Nothing is removed — all 8 leaves survive, each carrying its
+        // owner's weight.
+        assert_eq!(p.leaves.len(), 8);
+        let lw = p.leaf_weights.as_ref().expect("fractional ⇒ scaled");
+        // Owners in tree order (0,0,1,1,1,1,2,2) ⇒ weights follow.
+        assert_eq!(**lw, vec![1.0, 1.0, 0.5, 0.5, 0.5, 0.5, 1.0, 1.0]);
+        // Vertex 1's contributions: its center copies (2 × 0.5 from tree 1)
+        // plus neighbor-leaf copies in trees 0 and 2 (2 × 1.0) ⇒ total 3,
+        // coefficient 1/3.
+        assert!((p.coeff[1] - 1.0 / 3.0).abs() < 1e-7);
+        // Vertex 0: own center leaf (1.0) + tree 1's neighbor copy (0.5).
+        assert!((p.coeff[0] - 1.0 / 1.5).abs() < 1e-7);
     }
 
     #[test]

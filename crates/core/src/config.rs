@@ -68,7 +68,10 @@ pub struct LumosConfig {
     /// Optional heterogeneous-device scenario: when set, every epoch is
     /// additionally priced per-device by the `lumos-sim` discrete-event
     /// simulator and the report carries a [`crate::report::SimSummary`].
-    /// Timing overlay only — the training math is unchanged.
+    /// For churn-free scenarios this is a pure timing overlay — the
+    /// training math is unchanged. Scenarios with churn make absent
+    /// devices actually absent: they send no protocol messages and their
+    /// embeddings leave the POOL for the rounds they sit out.
     pub scenario: Option<Scenario>,
     /// What the tree constructor balances: the paper's tree-node count, or
     /// capability-weighted virtual seconds. `VirtualSecs` needs a
@@ -76,12 +79,17 @@ pub struct LumosConfig {
     /// from) and falls back to `TreeNodes` without one.
     pub balance_objective: BalanceObjective,
     /// How each round's updates are aggregated. The default `FullSync` is
-    /// the paper's synchronous barrier and keeps scenarios pure timing
-    /// overlays; `Deadline { factor }` drops updates landing after
+    /// the paper's synchronous barrier and keeps churn-free scenarios pure
+    /// timing overlays; `Deadline { factor }` drops updates landing after
     /// `factor ×` the round's median delivery time from the pooled update,
     /// the message accounting, and the barrier — deliberately changing the
-    /// training math. Needs a `scenario` (the timing signal comes from the
-    /// fleet profiles) and is inert without one.
+    /// training math. `Buffered { factor, decay }` keeps the same barrier
+    /// cut but blends each late update into the round where it actually
+    /// arrives with weight `decay^staleness`, accounts its messages there,
+    /// and live-migrates tree nodes off devices whose price stays above
+    /// twice the fleet mean. Every non-default policy needs a `scenario`
+    /// (the timing signal comes from the fleet profiles) and is inert
+    /// without one.
     pub aggregation_policy: AggregationPolicy,
 }
 
@@ -174,8 +182,9 @@ impl LumosConfig {
     /// Builder-style: choose how each round's updates are aggregated.
     ///
     /// # Panics
-    /// Panics on an invalid policy (deadline factor not finite or below 1)
-    /// — here, at configuration time, rather than mid-training.
+    /// Panics on an invalid policy (deadline factor not finite or below 1,
+    /// buffered decay outside `[0, 1]`) — here, at configuration time,
+    /// rather than mid-training.
     pub fn with_aggregation_policy(mut self, policy: AggregationPolicy) -> Self {
         policy.validate();
         self.aggregation_policy = policy;
@@ -235,6 +244,17 @@ mod tests {
         // scenario).
         LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
             .with_aggregation_policy(AggregationPolicy::Deadline { factor: 0.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "buffered decay")]
+    fn invalid_buffered_decay_fails_at_configuration_time() {
+        LumosConfig::new(Backbone::Gcn, TaskKind::Supervised).with_aggregation_policy(
+            AggregationPolicy::Buffered {
+                factor: 2.0,
+                decay: 1.5,
+            },
+        );
     }
 
     #[test]

@@ -81,6 +81,60 @@ pub fn exchange_features(
     }
 }
 
+/// Top-up exchange for `(owner, neighbor)` pairs with no recovered estimate
+/// yet — the incremental step a live tree migration needs: the receiving
+/// device never held the migrated branch, so the neighbor's LDP-encoded
+/// feature must cross the wire before the new leaves can pool. Existing
+/// estimates are never recomputed (their ε budget is already spent); each
+/// sender encodes fresh bins only for the devices newly keeping it,
+/// preserving the per-recipient guarantee of Theorem 4. Returns the number
+/// of messages sent (also added to `exchange.messages`).
+pub fn exchange_missing_features(
+    features: &[f32],
+    dim: usize,
+    trees: &[DeviceTree],
+    epsilon: f64,
+    rng: &mut Xoshiro256pp,
+    net: &mut SimNetwork,
+    exchange: &mut LdpExchange,
+) -> u64 {
+    let n = trees.len();
+    assert_eq!(features.len(), n * dim, "feature matrix shape mismatch");
+    let mut recipients: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for tree in trees {
+        for &v in &tree.neighbors {
+            if !exchange.recovered.contains_key(&(tree.center, v)) {
+                recipients[v as usize].push(tree.center);
+            }
+        }
+    }
+    let index_bits = (usize::BITS - (dim.max(2) - 1).leading_zeros()) as u64;
+    let mut messages = 0u64;
+    for v in 0..n as u32 {
+        let recv = &recipients[v as usize];
+        if recv.is_empty() {
+            continue;
+        }
+        let fan_out = recv.len();
+        let encoder = FeatureEncoder::new(epsilon, fan_out, dim, 0.0, 1.0);
+        let feature = &features[v as usize * dim..(v as usize + 1) * dim];
+        let msgs = encoder.encode_binned(feature, rng);
+        for (k, msg) in msgs.iter().enumerate() {
+            let u = recv[k];
+            let elems = msg.transmitted() as u64;
+            let bytes = (elems * (2 + index_bits)).div_ceil(8);
+            net.send(v, u, bytes);
+            messages += 1;
+            exchange.recovered.insert((u, v), encoder.recover(msg));
+        }
+    }
+    if messages > 0 {
+        net.round();
+    }
+    exchange.messages += messages;
+    messages
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +217,52 @@ mod tests {
             assert!(x > 0.9, "high-budget recovery should be near 1, got {x}");
         }
         assert!(sent > 0, "at least one dim must be transmitted");
+    }
+
+    #[test]
+    fn missing_pair_top_up_fills_only_the_gaps() {
+        // Initial trees: only device 0 keeps the 0–1 edge.
+        let trees = vec![
+            DeviceTree::build(LocalGraphKind::VirtualNodeTree, 0, vec![1]),
+            DeviceTree::build(LocalGraphKind::VirtualNodeTree, 1, vec![]),
+        ];
+        let dim = 4;
+        let features = vec![0.5f32; 2 * dim];
+        let mut net = SimNetwork::new(2);
+        let mut ex = exchange_features(&features, dim, &trees, 1.0, &mut rng(), &mut net);
+        assert_eq!(ex.messages, 1);
+        let before = ex.recovered[&(0, 1)].clone();
+        // Migration hands the edge to device 1: its tree now needs vertex
+        // 0's feature, which never crossed the wire.
+        let migrated = vec![
+            DeviceTree::build(LocalGraphKind::VirtualNodeTree, 0, vec![1]),
+            DeviceTree::build(LocalGraphKind::VirtualNodeTree, 1, vec![0]),
+        ];
+        let sent = exchange_missing_features(
+            &features,
+            dim,
+            &migrated,
+            1.0,
+            &mut rng(),
+            &mut net,
+            &mut ex,
+        );
+        assert_eq!(sent, 1, "only the new pair is exchanged");
+        assert_eq!(ex.messages, 2);
+        assert!(ex.recovered.contains_key(&(1, 0)));
+        // The pre-existing estimate is untouched — its budget was spent.
+        assert_eq!(ex.recovered[&(0, 1)], before);
+        // Running it again is a no-op: nothing is missing anymore.
+        let again = exchange_missing_features(
+            &features,
+            dim,
+            &migrated,
+            1.0,
+            &mut rng(),
+            &mut net,
+            &mut ex,
+        );
+        assert_eq!(again, 0);
     }
 
     #[test]

@@ -67,6 +67,17 @@ pub struct SimSummary {
     /// Device-rounds dropped by the deadline aggregation policy (0 under
     /// the default full-sync barrier).
     pub late_drops: u64,
+    /// Late updates blended into a later round's POOL by the buffered
+    /// policy instead of being discarded (0 under full-sync and deadline).
+    pub buffered_updates: u64,
+    /// Late updates discarded forever — the deadline policy's drops (0
+    /// under full-sync, and 0 by construction under buffered).
+    pub wasted_updates: u64,
+    /// Live re-balance events: rounds in which sustained overload moved
+    /// tree nodes off a device (buffered policy only).
+    pub migrations: u64,
+    /// Tree nodes moved off overloaded devices across all migrations.
+    pub migrated_nodes: u64,
 }
 
 impl SimSummary {

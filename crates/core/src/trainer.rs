@@ -8,7 +8,7 @@
 
 use std::rc::Rc;
 
-use lumos_balance::BalanceObjective;
+use lumos_balance::{rebalance_assignment, BalanceObjective};
 use lumos_common::rng::Xoshiro256pp;
 use lumos_data::{Dataset, EdgeSplit, NodeSplit};
 use lumos_fed::{ledger_work, CostModel, Runtime, SimNetwork};
@@ -19,20 +19,36 @@ use lumos_gnn::{
 use lumos_graph::Graph;
 use lumos_tensor::{Adam, ParamStore, Tape, VarId};
 
-use lumos_sim::{simulate_epoch, AggregationPolicy, DeviceWork, ScenarioState};
+use lumos_sim::{simulate_epoch, AggregationPolicy, DeviceWork, ScenarioState, StalenessBuffer};
 
 use crate::batch::{build_batched, BatchedTrees, PoolArrays};
 use crate::config::{LumosConfig, TaskKind};
 use crate::constructor::construct_assignment;
-use crate::init::exchange_features;
+use crate::init::{exchange_features, exchange_missing_features};
 use crate::report::{EpochMetrics, RunReport, SimSummary};
 use crate::tree::{DeviceTree, LocalGraphKind};
 
 /// Paired endpoint lists of positive training edges.
 type PairLists = (Rc<Vec<u32>>, Rc<Vec<u32>>);
 
+/// Memoized late probe: the fleet it was simulated against and the
+/// `(device, staleness)` pairs the policy cut that round.
+type LateProbe = (Vec<lumos_sim::DeviceProfile>, Vec<(u32, u32)>);
+
 /// Embedding size of a pooled vertex message on the wire (16 f32 values).
 const EMBEDDING_BYTES: u64 = 16 * 4;
+
+/// A device whose live per-node price exceeds this multiple of the fleet
+/// mean is considered overloaded by the buffered policy's re-balancer.
+/// Churn-absent devices are priced at `UNAVAILABLE_COST_FACTOR` (4×) their
+/// nominal rate, so a device of roughly average capability trips this
+/// threshold by sitting out.
+const REBALANCE_THRESHOLD: f64 = 2.0;
+
+/// Consecutive overloaded rounds before the re-balancer migrates a
+/// device's tree nodes — one blip (a single missed round) is tolerated,
+/// sustained overload is not.
+const REBALANCE_PATIENCE: u32 = 2;
 
 /// Runs the full Lumos system on a dataset and returns the report.
 pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
@@ -80,7 +96,7 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     };
 
     // Phase 1: heterogeneity-aware tree constructor (§V).
-    let (assignment, constructor) = construct_assignment(
+    let (mut assignment, constructor) = construct_assignment(
         &train_graph,
         cfg.tree_trimming,
         cfg.mcmc_iterations,
@@ -95,12 +111,12 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     } else {
         LocalGraphKind::RawEgoNetwork
     };
-    let trees: Vec<DeviceTree> = (0..n as u32)
+    let mut trees: Vec<DeviceTree> = (0..n as u32)
         .map(|v| DeviceTree::build(kind, v, assignment.kept(v).to_vec()))
         .collect();
 
     // Phase 2: LDP embedding initialization (§VI-A).
-    let exchange = exchange_features(
+    let mut exchange = exchange_features(
         &ds.features,
         ds.feature_dim,
         &trees,
@@ -109,29 +125,44 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         &mut runtime.network,
     );
     let init_messages = exchange.messages;
-    let batch = build_batched(&trees, &ds.features, ds.feature_dim, &exchange);
+    let mut batch = build_batched(&trees, &ds.features, ds.feature_dim, &exchange);
 
-    // Semi-sync deadline probe: the per-round message pattern is static
-    // (same trees, same protocol every epoch), so one dry run of the
-    // recorder yields the per-destination DeviceWork whose simulated timing
-    // decides, each round, which updates would land past the deadline.
-    // Inert without a scenario — there are no profiles to time against.
-    let work_template: Option<Vec<DeviceWork>> =
-        if matches!(cfg.aggregation_policy, AggregationPolicy::Deadline { .. })
-            && scenario.is_some()
-        {
-            let mut probe = SimNetwork::new(n);
-            let snap = probe.snapshot();
-            record_epoch_messages(&trees, cfg, &mut probe, edge_split.as_ref(), &[]);
-            Some(ledger_work(
-                &probe,
-                &snap,
-                &batch.tree_sizes,
-                enc_cfg.num_layers,
-            ))
+    // The policy actually executed: `Buffered { decay: 0 }` resolves to
+    // `Deadline` up front, so the bit-for-bit collapse holds by
+    // construction.
+    let policy = cfg.aggregation_policy.effective();
+
+    // Semi-sync probe: the per-round message pattern is static between
+    // migrations (same trees, same protocol every epoch), so one dry run of
+    // the recorder yields the per-destination DeviceWork whose simulated
+    // timing decides, each round, which updates would land past the
+    // deadline. Inert without a scenario — no profiles to time against.
+    let layers = enc_cfg.num_layers;
+    let build_template = |trees: &[DeviceTree], tree_sizes: &[usize]| -> Vec<DeviceWork> {
+        let mut probe = SimNetwork::new(n);
+        let snap = probe.snapshot();
+        record_epoch_messages(trees, cfg, &mut probe, edge_split.as_ref(), &[], &[], None);
+        ledger_work(&probe, &snap, tree_sizes, layers)
+    };
+    let mut work_template: Option<Vec<DeviceWork>> =
+        if policy != AggregationPolicy::FullSync && scenario.is_some() {
+            Some(build_template(&trees, &batch.tree_sizes))
         } else {
             None
         };
+
+    // Buffered-policy state: the staleness buffer holding late updates
+    // until their arrival round, and the re-balancer's per-device overload
+    // streaks.
+    let buffered_decay = match policy {
+        AggregationPolicy::Buffered { decay, .. } => Some(decay),
+        _ => None,
+    };
+    let buffering = buffered_decay.is_some() && scenario.is_some();
+    let mut staleness_buffer = StalenessBuffer::new(buffered_decay.unwrap_or(0.0));
+    let mut streaks: Vec<u32> = vec![0; n];
+    let mut migrations = 0u64;
+    let mut migrated_nodes = 0u64;
 
     // Phase 3: model setup (§VIII-B hyperparameters).
     let mut store = ParamStore::new();
@@ -171,47 +202,137 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
 
     // Phase 4: synchronized training epochs.
     let mut best_val = 0.0f64;
-    // Deadline memos: the probe is a pure function of (fleet, template)
-    // and the template is static, so re-simulate only when churn actually
-    // changed the fleet — and rebuild the masked POOL arrays only when
-    // the late set itself changed.
-    let mut probe_cache: Option<(Vec<lumos_sim::DeviceProfile>, Vec<u32>)> = None;
+    // Per-round memos: the probe is a pure function of (fleet, template)
+    // and the template is static between migrations, so re-simulate only
+    // when churn actually changed the fleet — and rebuild the POOL arrays
+    // only when the drop set (or the weight vector) itself changed.
+    let mut probe_cache: Option<LateProbe> = None;
     let mut pool_cache: (Vec<u32>, PoolArrays) = (Vec::new(), batch.masked_pool(&[]));
+    let mut weight_cache: (Vec<f32>, PoolArrays) = (vec![1.0; n], pool_cache.1.clone());
     for epoch in 0..cfg.epochs {
         if let Some(state) = &scenario {
             runtime.set_profiles(state.profiles().to_vec());
         }
-        // Deadline policy: probe this round's timing on the live fleet and
-        // drop the devices whose updates would land past the deadline —
-        // from the pooled update, the message accounting, and the barrier.
-        let late: Vec<u32> = match (&work_template, &scenario) {
+        runtime.begin_epoch();
+        if buffering {
+            // Deferred protocol traffic from earlier rounds' late devices
+            // lands in this epoch's ledger window — accounted in the round
+            // where it arrives, not the round where it was cut.
+            runtime.carry_in();
+            // Live re-balancing: price the fleet as it stands (churn-absent
+            // devices cost UNAVAILABLE_COST_FACTOR× their nominal rate) and
+            // migrate tree nodes off devices whose per-node price stayed
+            // above REBALANCE_THRESHOLD × the fleet mean for
+            // REBALANCE_PATIENCE consecutive rounds.
+            if let Some(prices) = runtime.node_costs_micros(layers, EMBEDDING_BYTES) {
+                let mean =
+                    prices.iter().map(|&p| p as f64).sum::<f64>() / prices.len().max(1) as f64;
+                let mut overloaded: Vec<u32> = Vec::new();
+                for (d, &p) in prices.iter().enumerate() {
+                    if p as f64 > REBALANCE_THRESHOLD * mean {
+                        streaks[d] += 1;
+                        if streaks[d] >= REBALANCE_PATIENCE {
+                            overloaded.push(d as u32);
+                        }
+                    } else {
+                        streaks[d] = 0;
+                    }
+                }
+                if !overloaded.is_empty() {
+                    let outcome = rebalance_assignment(&mut assignment, &prices, &overloaded);
+                    for &d in &overloaded {
+                        streaks[d as usize] = 0;
+                    }
+                    if outcome.moved_nodes > 0 {
+                        migrations += 1;
+                        migrated_nodes += outcome.moved_nodes as u64;
+                        trees = (0..n as u32)
+                            .map(|v| DeviceTree::build(kind, v, assignment.kept(v).to_vec()))
+                            .collect();
+                        // Devices that just inherited a branch never held
+                        // its leaves' features: top up only the missing
+                        // (owner, neighbor) pairs, on this epoch's ledger.
+                        exchange_missing_features(
+                            &ds.features,
+                            ds.feature_dim,
+                            &trees,
+                            cfg.epsilon,
+                            &mut rng,
+                            &mut runtime.network,
+                            &mut exchange,
+                        );
+                        batch = build_batched(&trees, &ds.features, ds.feature_dim, &exchange);
+                        work_template = Some(build_template(&trees, &batch.tree_sizes));
+                        probe_cache = None;
+                        pool_cache = (Vec::new(), batch.masked_pool(&[]));
+                        weight_cache = (vec![1.0; n], pool_cache.1.clone());
+                    }
+                }
+            }
+        }
+        // Probe this round's timing on the live fleet: devices whose
+        // updates land past the deadline leave the barrier — dropped
+        // forever under `Deadline`, parked in the staleness buffer until
+        // their arrival round under `Buffered`.
+        let late_staleness: Vec<(u32, u32)> = match (&work_template, &scenario) {
             (Some(template), Some(state)) => {
                 let stale = probe_cache
                     .as_ref()
                     .is_none_or(|(fleet, _)| fleet.as_slice() != state.profiles());
                 if stale {
                     let timing = simulate_epoch(state.profiles(), template);
-                    let drops = cfg.aggregation_policy.late_devices(&timing);
-                    probe_cache = Some((state.profiles().to_vec(), drops));
+                    let lates = policy.late_with_staleness(&timing);
+                    probe_cache = Some((state.profiles().to_vec(), lates));
                 }
                 probe_cache.as_ref().expect("probe just cached").1.clone()
             }
             _ => Vec::new(),
         };
-        if late != pool_cache.0 {
-            pool_cache = (late.clone(), batch.masked_pool(&late));
-        }
-        runtime.begin_epoch();
+        let late: Vec<u32> = late_staleness.iter().map(|&(d, _)| d).collect();
+        // Churn makes absent devices actually absent: they send no
+        // protocol messages and their embeddings leave the POOL for the
+        // rounds they sit out.
+        let absent: Vec<u32> = match &scenario {
+            Some(state) => state
+                .profiles()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.available)
+                .map(|(d, _)| d as u32)
+                .collect(),
+            None => Vec::new(),
+        };
+        let pool: PoolArrays = if buffering {
+            // Weighted POOL: absent and late devices contribute nothing
+            // this round; buffered updates blend back in at
+            // `decay^staleness` in the round they arrive — even if their
+            // sender is late or absent again (the update already landed).
+            let arrivals = staleness_buffer.advance(n);
+            let mut weights = vec![1.0f32; n];
+            for &d in &absent {
+                weights[d as usize] = 0.0;
+            }
+            for &d in &late {
+                weights[d as usize] = 0.0;
+            }
+            for (d, w) in arrivals.iter().enumerate() {
+                weights[d] += *w as f32;
+            }
+            if weights != weight_cache.0 {
+                weight_cache = (weights.clone(), batch.weighted_pool(&weights));
+            }
+            weight_cache.1.clone()
+        } else {
+            let mut dropped: Vec<u32> = absent.iter().chain(late.iter()).copied().collect();
+            dropped.sort_unstable();
+            dropped.dedup();
+            if dropped != pool_cache.0 {
+                pool_cache = (dropped.clone(), batch.masked_pool(&dropped));
+            }
+            pool_cache.1.clone()
+        };
         let mut tape = Tape::new();
-        let h = forward_pooled(
-            &mut tape,
-            &store,
-            &encoder,
-            &batch,
-            true,
-            &mut rng,
-            &pool_cache.1,
-        );
+        let h = forward_pooled(&mut tape, &store, &encoder, &batch, true, &mut rng, &pool);
 
         let loss_var: VarId = match cfg.task {
             TaskKind::Supervised => {
@@ -246,15 +367,35 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         opt.step(&mut store);
 
         // Protocol message accounting for this epoch (§VI-B/C); devices
-        // dropped by the deadline contribute no messages and do not gate
-        // the simulated barrier.
+        // dropped by the deadline and devices churned out contribute no
+        // messages and do not gate the simulated barrier. Under the
+        // buffered policy the late devices' silenced sends are collected
+        // and re-injected `staleness` rounds later by `carry_in`.
+        let mut late_sends: Vec<(u32, u32, u64)> = Vec::new();
         record_epoch_messages(
             &trees,
             cfg,
             &mut runtime.network,
             edge_split.as_ref(),
             &late,
+            &absent,
+            if buffering {
+                Some(&mut late_sends)
+            } else {
+                None
+            },
         );
+        if buffering {
+            for &(d, s) in &late_staleness {
+                staleness_buffer.push(d, s);
+                let sends: Vec<(u32, u32, u64)> = late_sends
+                    .iter()
+                    .filter(|&&(from, _, _)| from == d)
+                    .copied()
+                    .collect();
+                runtime.defer_sends(s, sends);
+            }
+        }
         runtime.end_epoch_dropping(&batch.tree_sizes, encoder.num_layers(), &late);
         // Churn applies *between* rounds: the fleet after the last epoch is
         // never simulated, so advancing there would overcount drops.
@@ -313,6 +454,14 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
             mean_utilization: runtime.mean_sim_utilization(),
             dropped_device_rounds: state.dropped_device_rounds(),
             late_drops: runtime.late_drops(),
+            buffered_updates: if buffering {
+                staleness_buffer.total_buffered()
+            } else {
+                0
+            },
+            wasted_updates: if buffering { 0 } else { runtime.late_drops() },
+            migrations,
+            migrated_nodes,
         });
     }
     report
@@ -320,9 +469,9 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
 
 /// Forward pass over the batched forest followed by the POOL layer
 /// (Eq. 31): mean of all leaf embeddings per global vertex, gathered
-/// through `pool` — the batch's full arrays, or a
-/// [`BatchedTrees::masked_pool`] view with the deadline's late devices
-/// excluded.
+/// through `pool` — the batch's full arrays, a
+/// [`BatchedTrees::masked_pool`] view with dropped devices excluded, or a
+/// [`BatchedTrees::weighted_pool`] view with per-device staleness weights.
 fn forward_pooled(
     tape: &mut Tape,
     store: &ParamStore,
@@ -334,10 +483,15 @@ fn forward_pooled(
 ) -> VarId {
     let x = tape.constant(batch.features.clone());
     let h_tree = encoder.forward(tape, store, x, &batch.mg, training, rng);
-    let (pool_leaves, pool_vertices, pool_coeff) = pool;
-    let leaves = tape.gather_rows(h_tree, pool_leaves.clone());
-    let summed = tape.scatter_add_rows(leaves, pool_vertices.clone(), batch.num_vertices);
-    tape.scale_rows(summed, pool_coeff.clone())
+    let mut leaves = tape.gather_rows(h_tree, pool.leaves.clone());
+    // Fractional staleness weights insert one extra per-leaf scale between
+    // gather and scatter; uniform pools skip it, keeping the default op
+    // sequence — and therefore its float results — untouched.
+    if let Some(w) = &pool.leaf_weights {
+        leaves = tape.scale_rows(leaves, w.clone());
+    }
+    let summed = tape.scatter_add_rows(leaves, pool.vertices.clone(), batch.num_vertices);
+    tape.scale_rows(summed, pool.coeff.clone())
 }
 
 /// Evaluation on the validation or test split (no dropout).
@@ -401,29 +555,36 @@ fn evaluate(
 /// * finally every device ships its loss/gradient contribution to the
 ///   aggregation point.
 ///
-/// Devices in `late` were dropped by the aggregation deadline: their
-/// updates never reached anyone, so none of their outbound messages are
-/// accounted (messages *to* them still are — their senders paid either
-/// way).
+/// Devices in `late` missed the aggregation deadline: their updates never
+/// reached anyone this round, so none of their outbound messages are
+/// accounted here (messages *to* them still are — their senders paid
+/// either way). Under the buffered policy `deferred` collects those
+/// silenced sends so the runtime can re-inject them in the round where
+/// they actually arrive. Devices in `absent` are churned out entirely:
+/// they send nothing, now or later.
 fn record_epoch_messages(
     trees: &[DeviceTree],
     cfg: &LumosConfig,
     net: &mut SimNetwork,
     edge_split: Option<&EdgeSplit>,
     late: &[u32],
+    absent: &[u32],
+    mut deferred: Option<&mut Vec<(u32, u32, u64)>>,
 ) {
-    let mut dropped = vec![false; trees.len()];
+    let mut silenced = vec![false; trees.len()];
+    let mut parked = vec![false; trees.len()];
+    for &d in absent {
+        silenced[d as usize] = true;
+    }
     for &d in late {
-        dropped[d as usize] = true;
+        silenced[d as usize] = true;
+        parked[d as usize] = true;
     }
     for tree in trees {
         let u = tree.center;
-        if dropped[u as usize] {
-            continue;
-        }
         for &v in &tree.neighbors {
             // Leaf embedding u → owner v after the l-layer update.
-            net.send(u, v, EMBEDDING_BYTES);
+            route_message(net, &mut deferred, &silenced, &parked, u, v);
         }
     }
     net.round();
@@ -432,32 +593,62 @@ fn record_epoch_messages(
         // negatives are requested per sampled pair.
         if let Some(split) = edge_split {
             for &(u, v) in &split.train_edges {
-                if dropped[v as usize] {
-                    continue;
-                }
-                net.send(v, u, EMBEDDING_BYTES);
+                route_message(net, &mut deferred, &silenced, &parked, v, u);
             }
             let neg_count = split.train_edges.len() * cfg.negatives_per_positive;
             for i in 0..neg_count {
                 // Negative-sample embedding transfers (uniformly attributed).
                 let from = (i % trees.len()) as u32;
                 let to = ((i / 2) % trees.len()) as u32;
-                if dropped[from as usize] {
+                if from == to {
+                    // A device already holds its own embedding — a
+                    // self-addressed fetch never crosses the wire.
                     continue;
                 }
-                net.send(from, to, EMBEDDING_BYTES);
+                route_message(net, &mut deferred, &silenced, &parked, from, to);
             }
         }
         net.round();
     }
     // Loss/gradient aggregation: one message per surviving device.
     for v in 0..trees.len() as u32 {
-        if dropped[v as usize] {
-            continue;
-        }
-        net.send_to_server(v, EMBEDDING_BYTES);
+        route_message(
+            net,
+            &mut deferred,
+            &silenced,
+            &parked,
+            v,
+            SimNetwork::SERVER,
+        );
     }
     net.round();
+}
+
+/// Routes one protocol message: silenced senders contribute nothing to the
+/// live ledger; the parked subset (deadline-late, not churn-absent) is
+/// additionally captured in `deferred` for later re-injection when the
+/// buffered policy is collecting.
+fn route_message(
+    net: &mut SimNetwork,
+    deferred: &mut Option<&mut Vec<(u32, u32, u64)>>,
+    silenced: &[bool],
+    parked: &[bool],
+    from: u32,
+    to: u32,
+) {
+    if silenced[from as usize] {
+        if parked[from as usize] {
+            if let Some(buf) = deferred.as_deref_mut() {
+                buf.push((from, to, EMBEDDING_BYTES));
+            }
+        }
+        return;
+    }
+    if to == SimNetwork::SERVER {
+        net.send_to_server(from, EMBEDDING_BYTES);
+    } else {
+        net.send(from, to, EMBEDDING_BYTES);
+    }
 }
 
 #[cfg(test)]
@@ -711,6 +902,162 @@ mod tests {
         let sim = report.sim.unwrap();
         // 300 devices × 10% dropout × 8 rounds ⇒ churn must bite.
         assert!(sim.dropped_device_rounds > 0);
+    }
+
+    #[test]
+    fn churn_silences_absent_devices() {
+        // Regression: churn used to be a pure timing overlay — absent
+        // devices kept sending protocol messages and pooling their
+        // embeddings as if they had never left.
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised).with_epochs(8);
+        let plain = run_lumos(&ds, &cfg);
+        let churn = run_lumos(&ds, &cfg.clone().with_scenario(lumos_sim::Scenario::Churn));
+        let sim = churn.sim.clone().unwrap();
+        assert!(sim.dropped_device_rounds > 0, "churn must bite");
+        assert!(
+            churn.avg_messages_per_device_per_epoch < plain.avg_messages_per_device_per_epoch,
+            "absent devices must send nothing: churn {} vs frozen fleet {}",
+            churn.avg_messages_per_device_per_epoch,
+            plain.avg_messages_per_device_per_epoch
+        );
+        assert_ne!(
+            plain.final_loss().to_bits(),
+            churn.final_loss().to_bits(),
+            "absent devices must leave the POOL"
+        );
+    }
+
+    #[test]
+    fn no_self_addressed_negative_fetches() {
+        // Regression: the uniform attribution of negative-sample transfers
+        // maps index 0 to the pair (0, 0) — a device fetching its own
+        // embedding — which used to be recorded as wire traffic.
+        let ds = Dataset::lastfm_like(Scale::Smoke);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let split = EdgeSplit::uniform(&ds.graph, &mut rng);
+        let n = ds.num_nodes();
+        let trees: Vec<DeviceTree> = (0..n as u32)
+            .map(|v| DeviceTree::build(LocalGraphKind::VirtualNodeTree, v, vec![]))
+            .collect();
+        let cfg = LumosConfig::new(lumos_gnn::Backbone::Gcn, TaskKind::Unsupervised);
+        let mut net = SimNetwork::new(n);
+        let snap = net.snapshot();
+        record_epoch_messages(&trees, &cfg, &mut net, Some(&split), &[], &[], None);
+        let edges = net.sent_matrix_since(&snap);
+        assert!(!edges.is_empty());
+        for ((from, to), _) in edges {
+            assert_ne!(from, to, "self-addressed message on the ledger");
+        }
+    }
+
+    #[test]
+    fn buffered_policy_banks_late_updates_and_keeps_the_makespan_win() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let base = smoke_config(TaskKind::Supervised)
+            .with_epochs(4)
+            .with_scenario(lumos_sim::Scenario::StragglerTail);
+        let full = run_lumos(&ds, &base);
+        let deadline = run_lumos(
+            &ds,
+            &base
+                .clone()
+                .with_aggregation_policy(AggregationPolicy::Deadline { factor: 2.0 }),
+        );
+        let buffered = run_lumos(
+            &ds,
+            &base
+                .clone()
+                .with_aggregation_policy(AggregationPolicy::Buffered {
+                    factor: 2.0,
+                    decay: 0.5,
+                }),
+        );
+        let fs = full.sim.clone().unwrap();
+        let dsim = deadline.sim.clone().unwrap();
+        let bs = buffered.sim.clone().unwrap();
+        // Late work is banked for a later round, never discarded.
+        assert!(bs.buffered_updates > 0, "tail must breach the deadline");
+        assert_eq!(bs.wasted_updates, 0, "buffered never wastes an update");
+        assert!(dsim.wasted_updates > 0, "deadline discards late work");
+        assert_eq!(fs.wasted_updates, 0);
+        // The barrier win survives the buffering.
+        let deadline_win = fs.avg_epoch_virtual_secs - dsim.avg_epoch_virtual_secs;
+        let buffered_win = fs.avg_epoch_virtual_secs - bs.avg_epoch_virtual_secs;
+        assert!(deadline_win > 0.0);
+        assert!(
+            buffered_win >= 0.95 * deadline_win,
+            "buffered win {buffered_win} must keep ≥95% of the deadline win {deadline_win}"
+        );
+        // Blending stale updates is a genuinely different trajectory from
+        // dropping them (and from never cutting at all).
+        assert_ne!(
+            buffered.final_loss().to_bits(),
+            deadline.final_loss().to_bits()
+        );
+        assert_ne!(buffered.final_loss().to_bits(), full.final_loss().to_bits());
+        assert!(buffered.test_metric > 0.3);
+    }
+
+    #[test]
+    fn zero_decay_buffered_collapses_to_deadline_bitwise() {
+        // `decay = 0` means an update arriving late is worth nothing —
+        // exactly the deadline policy, and the runs must agree bit for bit.
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let base = smoke_config(TaskKind::Supervised)
+            .with_epochs(4)
+            .with_scenario(lumos_sim::Scenario::StragglerTail);
+        let deadline = run_lumos(
+            &ds,
+            &base
+                .clone()
+                .with_aggregation_policy(AggregationPolicy::Deadline { factor: 2.0 }),
+        );
+        let collapsed = run_lumos(
+            &ds,
+            &base
+                .clone()
+                .with_aggregation_policy(AggregationPolicy::Buffered {
+                    factor: 2.0,
+                    decay: 0.0,
+                }),
+        );
+        assert_eq!(
+            deadline.test_metric.to_bits(),
+            collapsed.test_metric.to_bits()
+        );
+        assert_eq!(
+            deadline.final_loss().to_bits(),
+            collapsed.final_loss().to_bits()
+        );
+        assert_eq!(
+            deadline.avg_messages_per_device_per_epoch.to_bits(),
+            collapsed.avg_messages_per_device_per_epoch.to_bits()
+        );
+        assert_eq!(deadline.sim, collapsed.sim);
+    }
+
+    #[test]
+    fn buffered_churn_run_performs_live_migrations() {
+        // Devices that sit out consecutive rounds are priced at 4× their
+        // nominal rate, sail past the 2× fleet-mean threshold, and must
+        // have their tree nodes migrated to cheaper endpoints.
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let cfg = smoke_config(TaskKind::Supervised)
+            .with_epochs(8)
+            .with_scenario(lumos_sim::Scenario::Churn)
+            .with_aggregation_policy(AggregationPolicy::Buffered {
+                factor: 2.0,
+                decay: 0.5,
+            });
+        let report = run_lumos(&ds, &cfg);
+        let sim = report.sim.unwrap();
+        assert!(
+            sim.migrations >= 1,
+            "sustained churn overload must trigger a live migration"
+        );
+        assert!(sim.migrated_nodes >= 1);
+        assert!(report.test_metric > 0.3, "still learns through churn");
     }
 
     #[test]

@@ -89,6 +89,16 @@ pub struct EpochRecord {
     pub late: Vec<u32>,
 }
 
+/// One carry-over batch: sends suppressed in the round that produced them
+/// (the sender was past the deadline) that physically land
+/// `rounds_remaining` rounds from now.
+#[derive(Debug, Clone)]
+struct DeferredSends {
+    rounds_remaining: u32,
+    /// `(from, to, bytes)`; `to == SimNetwork::SERVER` marks device→server.
+    sends: Vec<(u32, u32, u64)>,
+}
+
 /// Synchronous round engine owning the network and epoch log.
 #[derive(Debug)]
 pub struct Runtime {
@@ -100,6 +110,7 @@ pub struct Runtime {
     epochs: Vec<EpochRecord>,
     late_drops: u64,
     current: Option<(usize, Stopwatch, NetworkSnapshot)>,
+    deferred: Vec<DeferredSends>,
 }
 
 impl Runtime {
@@ -113,6 +124,7 @@ impl Runtime {
             epochs: Vec::new(),
             late_drops: 0,
             current: None,
+            deferred: Vec::new(),
         }
     }
 
@@ -260,6 +272,59 @@ impl Runtime {
             late: late.to_vec(),
         });
         self.epochs.last().expect("just pushed")
+    }
+
+    /// Queues a late device's suppressed sends for delivery `rounds` rounds
+    /// from now (the buffered policy's carry-over ledger segment: traffic
+    /// is accounted in the round where the stale update actually arrives,
+    /// not the round whose barrier it missed). `to == SimNetwork::SERVER`
+    /// marks a device→server message.
+    ///
+    /// # Panics
+    /// Panics if `rounds` is 0 — a zero-round deferral would mean the
+    /// update was not late at all.
+    pub fn defer_sends(&mut self, rounds: u32, sends: Vec<(u32, u32, u64)>) {
+        assert!(rounds >= 1, "a deferred send must wait at least one round");
+        if sends.is_empty() {
+            return;
+        }
+        self.deferred.push(DeferredSends {
+            rounds_remaining: rounds,
+            sends,
+        });
+    }
+
+    /// Ages the carry-over segment by one round and injects every send
+    /// arriving now into the network ledger. Call right after
+    /// [`Runtime::begin_epoch`], so the traffic lands inside the opening
+    /// epoch's ledger deltas (its receivers pay the drain time this round;
+    /// the stale senders are overlaid absent, so their bytes are staged
+    /// rather than barrier-gating). Returns the number of injected sends.
+    pub fn carry_in(&mut self) -> u64 {
+        let mut injected = 0u64;
+        let mut still_waiting = Vec::with_capacity(self.deferred.len());
+        for mut batch in std::mem::take(&mut self.deferred) {
+            batch.rounds_remaining -= 1;
+            if batch.rounds_remaining == 0 {
+                for &(from, to, bytes) in &batch.sends {
+                    if to == SimNetwork::SERVER {
+                        self.network.send_to_server(from, bytes);
+                    } else {
+                        self.network.send(from, to, bytes);
+                    }
+                    injected += 1;
+                }
+            } else {
+                still_waiting.push(batch);
+            }
+        }
+        self.deferred = still_waiting;
+        injected
+    }
+
+    /// Sends still waiting in the carry-over segment.
+    pub fn deferred_sends(&self) -> usize {
+        self.deferred.iter().map(|b| b.sends.len()).sum()
     }
 
     /// All completed epochs.
@@ -534,6 +599,46 @@ mod tests {
         let (b_secs, b_seq) = run();
         assert_eq!(a_secs.to_bits(), b_secs.to_bits());
         assert_eq!(a_seq, b_seq);
+    }
+
+    #[test]
+    fn deferred_sends_land_in_the_arrival_round() {
+        let mut rt = Runtime::new(3, CostModel::default());
+        // Round 0: device 2 was late; its two messages defer by 1 and 2
+        // rounds respectively.
+        rt.begin_epoch();
+        assert_eq!(rt.carry_in(), 0);
+        rt.defer_sends(1, vec![(2, 0, 64)]);
+        rt.defer_sends(2, vec![(2, SimNetwork::SERVER, 64)]);
+        assert_eq!(rt.deferred_sends(), 2);
+        let r0 = rt.end_epoch(&[1, 1, 1], 2).total_messages;
+        assert_eq!(r0, 0, "deferred traffic must not land early");
+        // Round 1: the one-round deferral arrives.
+        rt.begin_epoch();
+        assert_eq!(rt.carry_in(), 1);
+        let r1 = rt.end_epoch(&[1, 1, 1], 2).total_messages;
+        assert_eq!(r1, 1);
+        assert_eq!(rt.deferred_sends(), 1);
+        // Round 2: the server-bound message arrives.
+        rt.begin_epoch();
+        assert_eq!(rt.carry_in(), 1);
+        let r2 = rt.end_epoch(&[1, 1, 1], 2).total_messages;
+        assert_eq!(r2, 1);
+        assert_eq!(rt.deferred_sends(), 0);
+    }
+
+    #[test]
+    fn empty_deferral_is_dropped() {
+        let mut rt = Runtime::new(2, CostModel::default());
+        rt.defer_sends(3, Vec::new());
+        assert_eq!(rt.deferred_sends(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_round_deferral_panics() {
+        let mut rt = Runtime::new(2, CostModel::default());
+        rt.defer_sends(0, vec![(0, 1, 8)]);
     }
 
     #[test]

@@ -249,7 +249,13 @@ pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochS
                 if t > start {
                     start = t;
                 }
-                out_edges[s as usize].push(d as u32);
+                // A sender repeated in the ledger list contributes one
+                // delivery edge, not one per occurrence: within this
+                // receiver's loop every push into `out_edges[s]` is `d`,
+                // so a trailing `d` means `s` was already recorded.
+                if out_edges[s as usize].last() != Some(&(d as u32)) {
+                    out_edges[s as usize].push(d as u32);
+                }
             }
         }
         drain_start[d] = Some(start);
@@ -531,6 +537,37 @@ mod tests {
             assert_eq!(a.busy_secs[d].to_bits(), b.busy_secs[d].to_bits());
             assert_eq!(a.idle_secs[d].to_bits(), b.idle_secs[d].to_bits());
         }
+    }
+
+    #[test]
+    fn duplicate_senders_schedule_one_arrival_per_edge() {
+        // Regression: a sender repeated in a PerSender list used to push
+        // the receiver into its out-edges once per occurrence, double-
+        // scheduling Arrived events and inflating `events`. Splitting a
+        // sender's bytes across ledger entries must be indistinguishable
+        // from recording them summed.
+        let profiles = flat_fleet(2);
+        let split = vec![
+            DeviceWork {
+                compute_units: 10.0,
+                messages_out: 1,
+                bytes_out: 64,
+                inbound: Inbound::PerSender(vec![(1, 64), (1, 64)]),
+            },
+            work(10.0, 1, 128, 0),
+        ];
+        let summed = vec![
+            DeviceWork {
+                inbound: Inbound::PerSender(vec![(1, 128)]),
+                ..split[0].clone()
+            },
+            split[1].clone(),
+        ];
+        let a = simulate_epoch(&profiles, &split);
+        let b = simulate_epoch(&profiles, &summed);
+        assert_eq!(a.events, b.events, "duplicate sender inflated the count");
+        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        assert_eq!(a.straggler, b.straggler);
     }
 
     #[test]

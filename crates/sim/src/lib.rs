@@ -19,8 +19,10 @@
 //!   busy/idle time, per-device update-delivery times, and the straggler's
 //!   identity.
 //! * [`policy`] — [`AggregationPolicy`]: the synchronous barrier
-//!   (`FullSync`) or a semi-synchronous deadline that drops updates landing
-//!   after a multiple of the round's median delivery time.
+//!   (`FullSync`), a semi-synchronous deadline that drops updates landing
+//!   after a multiple of the round's median delivery time, or the buffered
+//!   variant that keeps the same cut but blends late updates into later
+//!   rounds with staleness-decayed weights ([`StalenessBuffer`]).
 //! * [`scenario`] — presets ([`Scenario::Uniform`],
 //!   [`Scenario::MobileFleet`], [`Scenario::StragglerTail`],
 //!   [`Scenario::Churn`]) and the round-to-round fleet evolution
@@ -37,7 +39,7 @@ pub mod queue;
 pub mod scenario;
 
 pub use epoch::{simulate_epoch, DeviceWork, EpochStats, Inbound, SERVER_SENDER};
-pub use policy::AggregationPolicy;
+pub use policy::{AggregationPolicy, StalenessBuffer, STALENESS_CAP};
 pub use profile::{DeviceProfile, FleetSpec, Heterogeneity};
 pub use queue::{EventQueue, VirtualTime};
 pub use scenario::{Scenario, ScenarioState};

@@ -8,9 +8,20 @@
 //! well-defined: updates landing after a multiple of the round's median
 //! finish time are dropped from the pooled update, and the barrier closes
 //! without them — the Fig. 8c-style straggler-dropping trade the paper
-//! motivates.
+//! motivates. The buffered policy keeps the same barrier cut but routes
+//! the late updates into a [`StalenessBuffer`] instead of the void: each
+//! one is blended into a later round's POOL with weight
+//! `decay^staleness` (FedAsync-style staleness discounting), where the
+//! staleness is how many extra round-lengths the update spent in flight.
 
 use crate::epoch::EpochStats;
+
+/// Upper bound on how many rounds a late update may stay in flight before
+/// it is blended in: both its arrival round and its staleness exponent are
+/// clamped here, so no buffered update is deferred (or discounted)
+/// unboundedly — a device 1000× past the deadline still lands within
+/// `STALENESS_CAP` rounds.
+pub const STALENESS_CAP: u32 = 8;
 
 /// How a round's updates are aggregated.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -29,6 +40,22 @@ pub enum AggregationPolicy {
         /// Deadline as a multiple of the round's median delivery time.
         factor: f64,
     },
+    /// Buffered semi-sync: the same deadline cut as
+    /// [`AggregationPolicy::Deadline`] (late devices still leave the
+    /// round's barrier, keeping its makespan win), but late updates are
+    /// buffered instead of discarded and blended into the round where they
+    /// actually arrive with weight `decay^staleness`. Their protocol
+    /// messages are likewise accounted in the arrival round. `decay = 0`
+    /// weighs every stale update by zero — exactly the deadline's discard —
+    /// and collapses to it bit for bit via
+    /// [`AggregationPolicy::effective`].
+    Buffered {
+        /// Deadline as a multiple of the round's median delivery time.
+        factor: f64,
+        /// Per-round staleness discount in `[0, 1]`: an update arriving
+        /// `s` rounds late pools with weight `decay^s`.
+        decay: f64,
+    },
 }
 
 impl AggregationPolicy {
@@ -37,6 +64,7 @@ impl AggregationPolicy {
         match self {
             AggregationPolicy::FullSync => "full-sync",
             AggregationPolicy::Deadline { .. } => "deadline",
+            AggregationPolicy::Buffered { .. } => "buffered",
         }
     }
 
@@ -47,13 +75,53 @@ impl AggregationPolicy {
     /// # Panics
     /// Panics if a deadline factor is not finite or is below 1 (a factor
     /// below 1 would drop the median device — and with it any guarantee
-    /// that a round keeps a majority).
+    /// that a round keeps a majority), or if a buffered decay is not a
+    /// finite value in `[0, 1]` (a weight above 1 would *amplify* stale
+    /// updates with their own age).
     pub fn validate(&self) {
-        if let AggregationPolicy::Deadline { factor } = *self {
-            assert!(
-                factor.is_finite() && factor >= 1.0,
-                "deadline factor must be finite and >= 1, got {factor}"
-            );
+        match *self {
+            AggregationPolicy::FullSync => {}
+            AggregationPolicy::Deadline { factor } => {
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "deadline factor must be finite and >= 1, got {factor}"
+                );
+            }
+            AggregationPolicy::Buffered { factor, decay } => {
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "deadline factor must be finite and >= 1, got {factor}"
+                );
+                assert!(
+                    decay.is_finite() && (0.0..=1.0).contains(&decay),
+                    "buffered decay must be in [0, 1], got {decay}"
+                );
+            }
+        }
+    }
+
+    /// The policy actually executed: `Buffered` with `decay = 0` weighs
+    /// every stale update by zero, which is the deadline's discard — it is
+    /// resolved to `Deadline` up front so the two configurations are
+    /// bit-identical by construction (same pool masks, same message
+    /// accounting, no carry-over traffic).
+    pub fn effective(self) -> AggregationPolicy {
+        match self {
+            AggregationPolicy::Buffered { factor, decay: 0.0 } => {
+                AggregationPolicy::Deadline { factor }
+            }
+            p => p,
+        }
+    }
+
+    /// The deadline factor shared by the cutting policies (`None` under
+    /// [`AggregationPolicy::FullSync`]).
+    fn cut_factor(&self) -> Option<f64> {
+        match *self {
+            AggregationPolicy::FullSync => None,
+            AggregationPolicy::Deadline { factor } | AggregationPolicy::Buffered { factor, .. } => {
+                Some(factor)
+            }
         }
     }
 
@@ -66,7 +134,25 @@ impl AggregationPolicy {
     /// # Panics
     /// Panics if a deadline factor is not finite or is below 1.
     pub fn late_devices(&self, stats: &EpochStats) -> Vec<u32> {
-        let AggregationPolicy::Deadline { factor } = *self else {
+        self.late_with_staleness(stats)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// [`AggregationPolicy::late_devices`] plus each late device's
+    /// *staleness*: how many additional round-lengths its update spends in
+    /// flight past the deadline, `ceil(delivery / deadline) - 1`, clamped
+    /// to `1..=`[`STALENESS_CAP`]. An update landing just past the
+    /// deadline arrives next round (staleness 1); one landing at 3× the
+    /// deadline arrives two rounds later (staleness 2). Sorted by device
+    /// id.
+    ///
+    /// # Panics
+    /// Panics if the policy's parameters are invalid (see
+    /// [`AggregationPolicy::validate`]).
+    pub fn late_with_staleness(&self, stats: &EpochStats) -> Vec<(u32, u32)> {
+        let Some(factor) = self.cut_factor() else {
             return Vec::new();
         };
         self.validate();
@@ -86,9 +172,97 @@ impl AggregationPolicy {
             .update_delivery_secs
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.is_some_and(|t| t > deadline))
-            .map(|(d, _)| d as u32)
+            .filter_map(|(d, t)| {
+                let t = (*t)?;
+                if t <= deadline {
+                    return None;
+                }
+                let staleness = if deadline > 0.0 {
+                    ((t / deadline).ceil() - 1.0).clamp(1.0, STALENESS_CAP as f64) as u32
+                } else {
+                    STALENESS_CAP
+                };
+                Some((d as u32, staleness))
+            })
             .collect()
+    }
+}
+
+/// The buffered policy's per-device staleness buffer: late updates enter
+/// with their staleness (rounds until arrival) and come back out, at most
+/// [`STALENESS_CAP`] rounds later, as additive POOL weights
+/// `decay^staleness` for their device.
+///
+/// The buffer is pure bookkeeping over `(device, rounds remaining)` pairs —
+/// deterministic, no RNG, no float state beyond the decay — so the
+/// conservation property (*every* pushed update is collected within the
+/// cap) is property-tested directly in `tests/sim_properties.rs`.
+#[derive(Debug, Clone)]
+pub struct StalenessBuffer {
+    decay: f64,
+    /// In-flight late updates: `(device, rounds remaining, staleness)`.
+    in_flight: Vec<(u32, u32, u32)>,
+    buffered: u64,
+}
+
+impl StalenessBuffer {
+    /// Creates an empty buffer with the given per-round decay.
+    ///
+    /// # Panics
+    /// Panics unless `decay` is a finite value in `[0, 1]`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay.is_finite() && (0.0..=1.0).contains(&decay),
+            "buffered decay must be in [0, 1], got {decay}"
+        );
+        Self {
+            decay,
+            in_flight: Vec::new(),
+            buffered: 0,
+        }
+    }
+
+    /// The POOL weight of an update that is `staleness` rounds old.
+    pub fn weight(&self, staleness: u32) -> f64 {
+        self.decay.powi(staleness as i32)
+    }
+
+    /// Buffers one late update: it will arrive (and be collected by
+    /// [`StalenessBuffer::advance`]) after `staleness` rounds, clamped to
+    /// `1..=`[`STALENESS_CAP`].
+    pub fn push(&mut self, device: u32, staleness: u32) {
+        let s = staleness.clamp(1, STALENESS_CAP);
+        self.in_flight.push((device, s, s));
+        self.buffered += 1;
+    }
+
+    /// Advances one round: every in-flight update ages by one round, and
+    /// those arriving now are drained into a per-device additive weight
+    /// vector (`decay^staleness` each; a device can receive several
+    /// arrivals in one round). Call exactly once per round, *before*
+    /// pushing that round's late updates.
+    pub fn advance(&mut self, num_devices: usize) -> Vec<f64> {
+        let mut weights = vec![0.0f64; num_devices];
+        self.in_flight.retain_mut(|(d, remaining, staleness)| {
+            *remaining -= 1;
+            if *remaining == 0 {
+                weights[*d as usize] += self.decay.powi(*staleness as i32);
+                false
+            } else {
+                true
+            }
+        });
+        weights
+    }
+
+    /// Total updates ever buffered (the report's `buffered_updates`).
+    pub fn total_buffered(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Updates still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
     }
 }
 
@@ -171,5 +345,96 @@ mod tests {
             AggregationPolicy::Deadline { factor: 2.0 }.name(),
             "deadline"
         );
+    }
+
+    #[test]
+    fn buffered_cuts_exactly_like_the_deadline() {
+        // Same factor ⇒ same late set: buffering changes what happens to a
+        // late update, never who is late.
+        let s = stats_with(vec![Some(1.0), Some(1.1), Some(0.9), None, Some(40.0)]);
+        let deadline = AggregationPolicy::Deadline { factor: 2.0 };
+        let buffered = AggregationPolicy::Buffered {
+            factor: 2.0,
+            decay: 0.5,
+        };
+        assert_eq!(buffered.late_devices(&s), deadline.late_devices(&s));
+        assert_eq!(buffered.name(), "buffered");
+    }
+
+    #[test]
+    fn staleness_counts_round_lengths_past_the_deadline() {
+        // Deadline 2.0 (factor 2 × lower median 1.0): 2.5s ⇒ next round
+        // (staleness 1), 4.5s ⇒ ceil(2.25)-1 = 2 rounds, 1000s ⇒ capped.
+        let s = stats_with(vec![
+            Some(1.0),
+            Some(1.0),
+            Some(1.0),
+            Some(2.5),
+            Some(4.5),
+            Some(1000.0),
+        ]);
+        let late = AggregationPolicy::Buffered {
+            factor: 2.0,
+            decay: 0.5,
+        }
+        .late_with_staleness(&s);
+        assert_eq!(late, vec![(3, 1), (4, 2), (5, STALENESS_CAP)]);
+    }
+
+    #[test]
+    fn zero_decay_is_effectively_the_deadline() {
+        let collapsed = AggregationPolicy::Buffered {
+            factor: 2.0,
+            decay: 0.0,
+        }
+        .effective();
+        assert_eq!(collapsed, AggregationPolicy::Deadline { factor: 2.0 });
+        // Non-zero decay and the other policies pass through untouched.
+        let buffered = AggregationPolicy::Buffered {
+            factor: 2.0,
+            decay: 0.5,
+        };
+        assert_eq!(buffered.effective(), buffered);
+        assert_eq!(
+            AggregationPolicy::FullSync.effective(),
+            AggregationPolicy::FullSync
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_decay_panics() {
+        AggregationPolicy::Buffered {
+            factor: 2.0,
+            decay: 1.5,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn staleness_buffer_delivers_after_the_advertised_delay() {
+        let mut buf = StalenessBuffer::new(0.5);
+        buf.push(1, 1);
+        buf.push(3, 2);
+        // Round +1: only the staleness-1 update arrives, at weight 0.5.
+        let w = buf.advance(4);
+        assert_eq!(w, vec![0.0, 0.5, 0.0, 0.0]);
+        assert_eq!(buf.in_flight(), 1);
+        // Round +2: the staleness-2 update arrives at 0.25.
+        let w = buf.advance(4);
+        assert_eq!(w, vec![0.0, 0.0, 0.0, 0.25]);
+        assert_eq!(buf.in_flight(), 0);
+        assert_eq!(buf.total_buffered(), 2);
+    }
+
+    #[test]
+    fn staleness_buffer_accumulates_same_round_arrivals() {
+        // Two updates from the same device landing in the same round add
+        // their weights; a zero staleness is clamped up to one round.
+        let mut buf = StalenessBuffer::new(0.5);
+        buf.push(0, 0);
+        buf.push(0, 1);
+        let w = buf.advance(1);
+        assert_eq!(w, vec![1.0]);
     }
 }

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use lumos_common::rng::Xoshiro256pp;
 use lumos_sim::{
-    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventQueue, Inbound, VirtualTime,
-    SERVER_SENDER,
+    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventQueue, Inbound,
+    StalenessBuffer, VirtualTime, SERVER_SENDER, STALENESS_CAP,
 };
 
 /// Random fleet + aggregate workload of `n` devices from one seed.
@@ -226,5 +226,77 @@ proptest! {
             prop_assert!(stats.update_delivery_secs[d as usize].is_some());
         }
         prop_assert!(AggregationPolicy::FullSync.late_devices(&stats).is_empty());
+    }
+
+    /// Staleness-buffer conservation: however pushes and rounds interleave,
+    /// every buffered update arrives exactly once within [`STALENESS_CAP`]
+    /// rounds, at exactly `decay^staleness` weight — no update is lost, none
+    /// outlives the cap.
+    #[test]
+    fn staleness_buffer_loses_no_update(
+        seed in any::<u64>(), n in 1usize..16, rounds in 1usize..24, decay in 0.0f64..=1.0
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut buf = StalenessBuffer::new(decay);
+        let mut pushed = 0u64;
+        let mut expected = 0.0f64;
+        let mut delivered = 0.0f64;
+        for _ in 0..rounds {
+            delivered += buf.advance(n).iter().sum::<f64>();
+            for _ in 0..rng.next_below(4) {
+                let d = rng.next_below(n as u64) as u32;
+                // Deliberately overshoot the cap sometimes: the buffer must
+                // clamp, never defer (or discount) unboundedly.
+                let s = rng.next_below(2 * STALENESS_CAP as u64) as u32;
+                buf.push(d, s);
+                pushed += 1;
+                expected += decay.powi(s.clamp(1, STALENESS_CAP) as i32);
+            }
+        }
+        for _ in 0..STALENESS_CAP {
+            delivered += buf.advance(n).iter().sum::<f64>();
+        }
+        prop_assert_eq!(buf.in_flight(), 0, "an update outlived STALENESS_CAP");
+        prop_assert_eq!(buf.total_buffered(), pushed);
+        prop_assert!(
+            (delivered - expected).abs() < 1e-9 * (1.0 + expected.abs()),
+            "delivered weight {} != expected {}", delivered, expected
+        );
+    }
+
+    /// Staleness weights discount monotonically: an older update never
+    /// outweighs a fresher one, and every weight stays in [0, 1].
+    #[test]
+    fn staleness_weights_decay_monotonically(decay in 0.0f64..=1.0) {
+        let buf = StalenessBuffer::new(decay);
+        let mut prev = 1.0f64;
+        for s in 1..=STALENESS_CAP {
+            let w = buf.weight(s);
+            prop_assert!((0.0..=1.0).contains(&w), "weight {} out of range", w);
+            prop_assert!(w <= prev, "weight rose with age: {} > {}", w, prev);
+            prev = w;
+        }
+    }
+
+    /// The buffered policy's cut is the deadline's cut — identical late set
+    /// on any simulated round, stalenesses always within the cap — and at
+    /// `decay = 0` the whole policy resolves to the deadline.
+    #[test]
+    fn buffered_cut_matches_deadline_and_zero_decay_collapses(
+        seed in any::<u64>(), n in 1usize..32, factor in 1.0f64..4.0, decay in 0.0f64..=1.0
+    ) {
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let work = scatter_inbound(seed, &aggregate);
+        let stats = simulate_epoch(&profiles, &work);
+        let deadline = AggregationPolicy::Deadline { factor };
+        let buffered = AggregationPolicy::Buffered { factor, decay };
+        prop_assert_eq!(buffered.late_devices(&stats), deadline.late_devices(&stats));
+        for (d, s) in buffered.late_with_staleness(&stats) {
+            prop_assert!((1..=STALENESS_CAP).contains(&s), "device {} staleness {}", d, s);
+        }
+        prop_assert_eq!(
+            AggregationPolicy::Buffered { factor, decay: 0.0 }.effective(),
+            deadline
+        );
     }
 }

@@ -138,15 +138,17 @@ fn same_seed_same_scenario_gives_identical_simulation() {
 
 #[test]
 fn scenario_is_a_pure_timing_overlay() {
-    // Enabling a scenario must not touch the trainer's stochastic streams:
-    // the learned model is bit-identical with and without it.
+    // Enabling a churn-free scenario must not touch the trainer's
+    // stochastic streams: the learned model is bit-identical with and
+    // without it. (Churn scenarios are deliberately NOT overlays anymore:
+    // absent devices send no messages and leave the POOL.)
     let plain = smoke_run(0xDECADE);
     let ds = Dataset::facebook_like(Scale::Smoke);
     let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
         .with_epochs(12)
         .with_mcmc_iterations(15)
         .with_seed(0xDECADE)
-        .with_scenario(Scenario::Churn);
+        .with_scenario(Scenario::MobileFleet);
     let overlaid = run_lumos(&ds, &cfg);
     assert_reports_identical(&plain, &overlaid);
     assert!(plain.sim.is_none());

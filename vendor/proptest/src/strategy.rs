@@ -46,6 +46,20 @@ macro_rules! float_range_strategy {
                 self.start + (rng.next_f64() as $t) * (self.end - self.start)
             }
         }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // Emit the exact endpoints now and then: float properties
+                // break at the boundary far more often than in the middle.
+                match rng.next_below(16) {
+                    0 => lo,
+                    1 => hi,
+                    _ => lo + (rng.next_f64() as $t) * (hi - lo),
+                }
+            }
+        }
     )*};
 }
 
