@@ -15,6 +15,7 @@ pub mod fig8;
 pub mod hetero;
 pub mod perf;
 pub mod presets;
+pub mod scale;
 pub mod table1;
 
 pub use args::HarnessArgs;

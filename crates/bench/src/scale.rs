@@ -1,0 +1,314 @@
+//! Scale sweep: flat vs hierarchical aggregation at 10³–10⁵ devices.
+//!
+//! The datasets the accuracy experiments train on top out at a few
+//! thousand vertices, so this sweep drives the federation substrate
+//! directly — `lumos-fed`'s ledger, `lumos-sim`'s epoch engine, and
+//! `lumos-topo`'s tier timing — with a synthetic per-round protocol (two
+//! ring neighbors per device plus the aggregation upload) over a
+//! [`Scenario::MobileFleet`] fleet. Three claims become measurable at
+//! fleet sizes the full trainer cannot reach:
+//!
+//! * **server traffic** is O(devices) bytes/round flat but O(aggregators)
+//!   hierarchical — each aggregator forwards one pooled partial;
+//! * **ledger memory** collapses from the per-edge matrix to the compact
+//!   per-shard tallies (`ledger_entries` is the resident count);
+//! * **wall cost per simulated device** stays bounded as the fleet grows,
+//!   which is what lets the 10⁵-device row finish inside a CI smoke job.
+//!
+//! [`to_json`] renders the sweep as the machine-readable
+//! `BENCH_scale.json` record the CI scale gate asserts on.
+
+use std::time::Instant;
+
+use lumos_common::rng::Xoshiro256pp;
+use lumos_common::table::{fmt2, Table};
+use lumos_fed::{ledger_work, SimNetwork};
+use lumos_sim::{simulate_epoch, DeviceProfile, Scenario};
+use lumos_topo::{tier_timing, Topology};
+
+use crate::args::HarnessArgs;
+
+/// Fleet sizes the sweep visits (the 10⁵-device row is the point).
+pub const SWEEP_DEVICES: [usize; 3] = [4_000, 32_000, 100_000];
+
+/// Bytes of one pooled-update message on the synthetic wire (mirrors the
+/// trainer's 16-f32 embedding).
+const UPDATE_BYTES: u64 = 64;
+
+/// Tree nodes per device for the straggler cost model: every synthetic
+/// device carries the same small tree, so timing spread comes from the
+/// fleet's capability heterogeneity alone.
+const TREE_NODES: usize = 4;
+
+/// GNN layers priced by the cost model.
+const LAYERS: usize = 2;
+
+/// Aggregator count for `n` devices: `⌈√n⌉` balances the two tiers —
+/// each aggregator hears O(√n) members and the server hears O(√n)
+/// partials.
+pub fn aggregators_for(n: usize) -> usize {
+    (n as f64).sqrt().ceil() as usize
+}
+
+/// One (fleet size, topology) measurement.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Fleet size.
+    pub devices: usize,
+    /// `"flat"` or `"hierarchical"`.
+    pub mode: &'static str,
+    /// Aggregator count (0 in flat mode — devices report to the server).
+    pub aggregators: usize,
+    /// Rounds measured.
+    pub rounds: usize,
+    /// Mean simulated epoch makespan (hierarchical rows include the
+    /// aggregator→server hop).
+    pub makespan_secs: f64,
+    /// Bytes arriving at the server per round — the O(devices) vs
+    /// O(aggregators) claim.
+    pub server_bytes_per_round: f64,
+    /// Peak resident ledger entries (per-edge matrix flat, per-shard
+    /// tallies hierarchical).
+    pub peak_ledger_entries: usize,
+    /// Wall-clock microseconds per simulated device-round.
+    pub wall_us_per_device: f64,
+}
+
+/// Rounds per measurement: the synthetic protocol is identical each
+/// round, so a short window is enough; quick mode halves it for CI.
+fn rounds(quick: bool) -> usize {
+    if quick {
+        2
+    } else {
+        4
+    }
+}
+
+/// Runs `rounds` of the synthetic protocol at fleet size `n` and measures
+/// one row. The fleet and the topology derive only from `seed`, so flat
+/// and hierarchical rows time exactly the same devices.
+pub fn measure(n: usize, hierarchical: bool, rounds: usize, seed: u64) -> ScaleRow {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (n as u64).rotate_left(13));
+    let profiles = Scenario::MobileFleet.fleet_spec().sample_fleet(n, &mut rng);
+    let topo = hierarchical.then(|| Topology::seeded(n, aggregators_for(n), seed));
+    let mut net = match &topo {
+        Some(t) => SimNetwork::new_sharded(t.shard_vector()),
+        None => SimNetwork::new(n),
+    };
+    let tree_sizes = vec![TREE_NODES; n];
+    let aggregator = DeviceProfile::baseline();
+
+    let started = Instant::now();
+    let mut makespan_sum = 0.0f64;
+    let mut peak_ledger = 0usize;
+    for _ in 0..rounds {
+        let snap = net.snapshot();
+        // Two ring neighbors per device stand in for the tree-update
+        // exchange, then every device ships its pooled update.
+        for d in 0..n as u32 {
+            net.send(d, (d + 1) % n as u32, UPDATE_BYTES);
+            net.send(d, (d + 7) % n as u32, UPDATE_BYTES);
+        }
+        net.round();
+        match &topo {
+            Some(t) => {
+                for d in 0..n as u32 {
+                    net.send_to_aggregator(d, UPDATE_BYTES);
+                }
+                for shard in 0..t.num_aggregators() as u32 {
+                    net.send_aggregator_to_server(shard, UPDATE_BYTES);
+                }
+            }
+            None => {
+                for d in 0..n as u32 {
+                    net.send_to_server(d, UPDATE_BYTES);
+                }
+            }
+        }
+        net.round();
+        peak_ledger = peak_ledger.max(net.ledger_entries());
+        let work = ledger_work(&net, &snap, &tree_sizes, LAYERS);
+        let stats = simulate_epoch(&profiles, &work);
+        makespan_sum += match &topo {
+            Some(t) => {
+                let t2 = tier_timing(&stats, t, &aggregator, UPDATE_BYTES);
+                stats.makespan_secs.max(t2.server_makespan_secs)
+            }
+            None => stats.makespan_secs,
+        };
+    }
+    let wall_us = started.elapsed().as_micros() as f64;
+
+    ScaleRow {
+        devices: n,
+        mode: if hierarchical { "hierarchical" } else { "flat" },
+        aggregators: topo.as_ref().map_or(0, Topology::num_aggregators),
+        rounds,
+        makespan_secs: makespan_sum / rounds as f64,
+        server_bytes_per_round: net.server_bytes_received() as f64 / rounds as f64,
+        peak_ledger_entries: peak_ledger,
+        wall_us_per_device: wall_us / (n * rounds) as f64,
+    }
+}
+
+/// Runs the full sweep: every fleet size in [`SWEEP_DEVICES`], flat then
+/// hierarchical.
+pub fn run(args: &HarnessArgs) -> Vec<ScaleRow> {
+    let rounds = rounds(args.quick);
+    let mut rows = Vec::with_capacity(2 * SWEEP_DEVICES.len());
+    for &n in &SWEEP_DEVICES {
+        for hierarchical in [false, true] {
+            rows.push(measure(n, hierarchical, rounds, args.seed));
+        }
+    }
+    rows
+}
+
+/// Renders the sweep as one table row per (fleet size, topology).
+pub fn table(rows: &[ScaleRow]) -> Table {
+    let mut t = Table::new(
+        "Scale sweep: flat vs hierarchical aggregation",
+        &[
+            "devices",
+            "mode",
+            "aggregators",
+            "epoch secs",
+            "server bytes/round",
+            "peak ledger entries",
+            "wall µs/device",
+        ],
+    );
+    for r in rows {
+        t.push_row([
+            r.devices.to_string(),
+            r.mode.to_string(),
+            r.aggregators.to_string(),
+            fmt2(r.makespan_secs),
+            fmt2(r.server_bytes_per_round),
+            r.peak_ledger_entries.to_string(),
+            fmt2(r.wall_us_per_device),
+        ]);
+    }
+    t
+}
+
+/// A finite `f64` as a JSON number (`null` for NaN/∞, which JSON lacks).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Renders the sweep as the machine-readable `BENCH_scale.json` document
+/// the CI scale gate parses: per-(devices, mode) traffic, memory, and
+/// wall-cost figures keyed by seed and quick flag.
+pub fn to_json(rows: &[ScaleRow], args: &HarnessArgs) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"scale_sweep\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"quick\": {},\n", args.quick));
+    out.push_str("  \"rows\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"devices\": {},\n",
+                    "      \"mode\": {},\n",
+                    "      \"aggregators\": {},\n",
+                    "      \"rounds\": {},\n",
+                    "      \"makespan_secs\": {},\n",
+                    "      \"server_bytes_per_round\": {},\n",
+                    "      \"peak_ledger_entries\": {},\n",
+                    "      \"wall_us_per_device\": {}\n",
+                    "    }}"
+                ),
+                r.devices,
+                json_str(r.mode),
+                r.aggregators,
+                r.rounds,
+                json_num(r.makespan_secs),
+                json_num(r.server_bytes_per_round),
+                r.peak_ledger_entries,
+                json_num(r.wall_us_per_device),
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_data::Scale;
+
+    #[test]
+    fn hierarchical_mode_cuts_server_bytes_and_ledger_memory() {
+        let flat = measure(600, false, 2, 9);
+        let tiered = measure(600, true, 2, 9);
+        // Flat: every device's update lands at the server. Hierarchical:
+        // only the ⌈√n⌉ aggregator partials do.
+        assert_eq!(flat.server_bytes_per_round, 600.0 * UPDATE_BYTES as f64);
+        assert_eq!(
+            tiered.server_bytes_per_round,
+            tiered.aggregators as f64 * UPDATE_BYTES as f64
+        );
+        assert!(tiered.server_bytes_per_round < flat.server_bytes_per_round / 10.0);
+        // The per-edge matrix holds the ring + server edges; the sharded
+        // ledger holds two tallies per shard.
+        assert!(tiered.peak_ledger_entries < flat.peak_ledger_entries);
+        assert_eq!(tiered.peak_ledger_entries, 2 * tiered.aggregators);
+        // Both modes simulate a real barrier.
+        assert!(flat.makespan_secs > 0.0);
+        assert!(tiered.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn measurements_are_seed_deterministic() {
+        let a = measure(400, true, 2, 5);
+        let b = measure(400, true, 2, 5);
+        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        assert_eq!(a.server_bytes_per_round, b.server_bytes_per_round);
+        assert_eq!(a.peak_ledger_entries, b.peak_ledger_entries);
+    }
+
+    #[test]
+    fn sqrt_sizing_covers_the_sweep() {
+        assert_eq!(aggregators_for(4_000), 64);
+        assert_eq!(aggregators_for(32_000), 179);
+        assert_eq!(aggregators_for(100_000), 317);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let args = HarnessArgs {
+            scale: Scale::Smoke,
+            seed: 9,
+            quick: true,
+            json: None,
+        };
+        let rows = vec![measure(300, false, 1, 9), measure(300, true, 1, 9)];
+        let json = to_json(&rows, &args);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"scale_sweep\""));
+        assert!(json.contains("\"mode\": \"flat\""));
+        assert!(json.contains("\"mode\": \"hierarchical\""));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(table(&rows).len(), 2);
+    }
+}

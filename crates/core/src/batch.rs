@@ -25,6 +25,10 @@ pub struct PoolArrays {
     pub vertices: Rc<Vec<u32>>,
     /// Per-vertex mean coefficients (`1 / contribution` per vertex).
     pub coeff: Rc<Vec<f32>>,
+    /// Owning device of each surviving leaf, ascending (trees are laid out
+    /// in device order) — the hierarchical POOL slices this per aggregator
+    /// shard, so each partial sums exactly its members' leaves.
+    pub owners: Rc<Vec<u32>>,
     /// Optional per-leaf scale applied between gather and scatter-add.
     /// `Some` only for fractionally weighted pools (the buffered policy's
     /// staleness blending); `None` keeps the default op sequence — and with
@@ -74,6 +78,7 @@ impl BatchedTrees {
                 leaves: self.pool_leaves.clone(),
                 vertices: self.pool_vertices.clone(),
                 coeff: self.pool_coeff.clone(),
+                owners: self.pool_owners.clone(),
                 leaf_weights: None,
             };
         }
@@ -83,6 +88,7 @@ impl BatchedTrees {
         }
         let mut leaves = Vec::with_capacity(self.pool_leaves.len());
         let mut vertices = Vec::with_capacity(self.pool_vertices.len());
+        let mut owners = Vec::with_capacity(self.pool_owners.len());
         let mut counts = vec![0u32; self.num_vertices];
         for ((&leaf, &vertex), &owner) in self
             .pool_leaves
@@ -95,6 +101,7 @@ impl BatchedTrees {
             }
             leaves.push(leaf);
             vertices.push(vertex);
+            owners.push(owner);
             counts[vertex as usize] += 1;
         }
         let coeff = counts
@@ -105,6 +112,7 @@ impl BatchedTrees {
             leaves: Rc::new(leaves),
             vertices: Rc::new(vertices),
             coeff: Rc::new(coeff),
+            owners: Rc::new(owners),
             leaf_weights: None,
         }
     }
@@ -133,6 +141,7 @@ impl BatchedTrees {
         }
         let mut leaves = Vec::with_capacity(self.pool_leaves.len());
         let mut vertices = Vec::with_capacity(self.pool_vertices.len());
+        let mut owners = Vec::with_capacity(self.pool_owners.len());
         let mut leaf_weights = Vec::with_capacity(self.pool_leaves.len());
         let mut counts = vec![0u32; self.num_vertices];
         let mut weight_sums = vec![0.0f64; self.num_vertices];
@@ -152,6 +161,7 @@ impl BatchedTrees {
             }
             leaves.push(leaf);
             vertices.push(vertex);
+            owners.push(owner);
             leaf_weights.push(w);
             counts[vertex as usize] += 1;
             weight_sums[vertex as usize] += w as f64;
@@ -171,6 +181,7 @@ impl BatchedTrees {
             leaves: Rc::new(leaves),
             vertices: Rc::new(vertices),
             coeff: Rc::new(coeff),
+            owners: Rc::new(owners),
             leaf_weights: if uniform {
                 None
             } else {

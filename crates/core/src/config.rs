@@ -3,6 +3,7 @@
 use lumos_balance::{BalanceObjective, CompareBackend, SecurityMode};
 use lumos_gnn::Backbone;
 use lumos_sim::{AggregationPolicy, Scenario};
+use lumos_topo::TopologyConfig;
 
 /// Learning task (§VIII-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,24 @@ pub struct LumosConfig {
     /// (the timing signal comes from the fleet profiles) and is inert
     /// without one.
     pub aggregation_policy: AggregationPolicy,
+    /// How device updates reach the server. The default `Flat` is the
+    /// paper's star (every device uploads straight to the server, bit-
+    /// identical to the seed path); `Hierarchical { aggregators }` routes
+    /// uploads through K edge aggregators — the balance problem runs per
+    /// shard, aggregators apply the aggregation policy against their own
+    /// local deadline, the ledger switches to the compact O(devices + K)
+    /// sharded mode, and per-round server traffic drops from O(devices)
+    /// to O(K). A single-aggregator tree resolves to `Flat`
+    /// (`TopologyConfig::effective`).
+    pub topology: TopologyConfig,
+    /// Live re-balance trigger: a device priced above
+    /// `rebalance_threshold ×` the fleet-mean per-node cost for
+    /// `rebalance_patience` consecutive rounds has its tree nodes
+    /// migrated to cheaper endpoints (buffered policy only). Defaults
+    /// (2.0, 2) match the constants PR 6 shipped with.
+    pub rebalance_threshold: f64,
+    /// Consecutive overpriced rounds required before migrating.
+    pub rebalance_patience: u32,
 }
 
 impl LumosConfig {
@@ -122,6 +141,9 @@ impl LumosConfig {
             scenario: None,
             balance_objective: BalanceObjective::TreeNodes,
             aggregation_policy: AggregationPolicy::FullSync,
+            topology: TopologyConfig::Flat,
+            rebalance_threshold: 2.0,
+            rebalance_patience: 2,
         }
     }
 
@@ -190,6 +212,36 @@ impl LumosConfig {
         self.aggregation_policy = policy;
         self
     }
+
+    /// Builder-style: choose the aggregation topology.
+    ///
+    /// # Panics
+    /// Panics on an invalid topology (zero aggregators) at configuration
+    /// time rather than mid-training.
+    pub fn with_topology(mut self, topology: TopologyConfig) -> Self {
+        topology.validate();
+        self.topology = topology;
+        self
+    }
+
+    /// Builder-style: set the live re-balance trigger — migrate a
+    /// device's tree nodes after it stays priced above `threshold ×` the
+    /// fleet mean for `patience` consecutive rounds. The defaults
+    /// (2.0, 2) reproduce the previously hardcoded behaviour bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is not finite and positive, or `patience`
+    /// is zero — both would make the trigger fire never or always.
+    pub fn with_rebalance_trigger(mut self, threshold: f64, patience: u32) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "rebalance threshold must be finite and positive, got {threshold}"
+        );
+        assert!(patience >= 1, "rebalance patience must be at least 1 round");
+        self.rebalance_threshold = threshold;
+        self.rebalance_patience = patience;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +257,9 @@ mod tests {
         assert_eq!(c.compare_backend, CompareBackend::Scalar);
         assert_eq!(c.balance_objective, BalanceObjective::TreeNodes);
         assert_eq!(c.aggregation_policy, AggregationPolicy::FullSync);
+        assert_eq!(c.topology, TopologyConfig::Flat);
+        assert_eq!(c.rebalance_threshold, 2.0);
+        assert_eq!(c.rebalance_patience, 2);
         assert_eq!(TaskKind::Supervised.metric_name(), "accuracy");
         assert_eq!(TaskKind::Unsupervised.metric_name(), "roc-auc");
     }
@@ -261,5 +316,34 @@ mod tests {
     fn scenario_defaults_to_off() {
         let c = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised);
         assert_eq!(c.scenario, None);
+    }
+
+    #[test]
+    fn topology_and_rebalance_builders_apply() {
+        let c = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+            .with_topology(TopologyConfig::Hierarchical { aggregators: 4 })
+            .with_rebalance_trigger(3.0, 5);
+        assert_eq!(c.topology, TopologyConfig::Hierarchical { aggregators: 4 });
+        assert_eq!(c.rebalance_threshold, 3.0);
+        assert_eq!(c.rebalance_patience, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggregator")]
+    fn zero_aggregator_topology_fails_at_configuration_time() {
+        LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+            .with_topology(TopologyConfig::Hierarchical { aggregators: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance threshold")]
+    fn non_positive_rebalance_threshold_fails_at_configuration_time() {
+        LumosConfig::new(Backbone::Gcn, TaskKind::Supervised).with_rebalance_trigger(0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance patience")]
+    fn zero_rebalance_patience_fails_at_configuration_time() {
+        LumosConfig::new(Backbone::Gcn, TaskKind::Supervised).with_rebalance_trigger(2.0, 0);
     }
 }

@@ -8,6 +8,7 @@ use lumos_balance::{
 };
 use lumos_common::timer::Stopwatch;
 use lumos_graph::Graph;
+use lumos_topo::Topology;
 
 use crate::report::ConstructorReport;
 
@@ -77,6 +78,145 @@ pub fn construct_assignment(
         mcmc_trace: outcome.trace,
     };
     (outcome.assignment, report)
+}
+
+/// Per-shard seed for the sharded constructor's secure lanes: distinct
+/// and deterministic per `(run seed, shard)`.
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs the tree constructor partitioned by an aggregation topology:
+/// each shard solves its own balance problem — greedy init + MCMC over
+/// the shard's induced subgraph, with its own secure-comparison lanes
+/// seeded per shard — and the per-shard assignments are merged.
+///
+/// Devices are only ever compared within their shard, which is the
+/// hierarchical deployment's constraint (an aggregator can run Algorithm
+/// 3 among its own members without a fleet-wide sweep) and what makes
+/// construction at 10⁵+ devices tractable: K independent problems of
+/// size n/K instead of one of size n.
+///
+/// Cross-shard edges are invisible to every shard's balancer, so
+/// coverage is restored at merge time: each such edge is kept by the
+/// endpoint with the currently smaller tree (ties to the smaller id) —
+/// deterministic, and biased toward balance.
+///
+/// The report aggregates the shards: comparison counts, secure traffic,
+/// and server messages are summed; the MCMC trace is the element-wise
+/// maximum across shards (the global objective is the max over shard
+/// objectives).
+#[allow(clippy::too_many_arguments)]
+pub fn construct_assignment_sharded(
+    g: &Graph,
+    trimming: bool,
+    mcmc_iterations: usize,
+    security: SecurityMode,
+    backend: CompareBackend,
+    seed: u64,
+    node_costs: Option<&[u64]>,
+    topo: &Topology,
+) -> (Assignment, ConstructorReport) {
+    assert_eq!(
+        topo.num_devices(),
+        g.num_nodes(),
+        "topology and graph disagree on device count"
+    );
+    if !trimming || topo.num_aggregators() == 1 {
+        // Untrimmed keeps full ego networks (nothing to shard), and one
+        // shard is the flat problem.
+        return construct_assignment(
+            g,
+            trimming,
+            mcmc_iterations,
+            security,
+            backend,
+            seed,
+            node_costs,
+        );
+    }
+
+    let mut sw = Stopwatch::started();
+    let untrimmed_max = g.max_degree();
+
+    // Route every edge once: intra-shard edges go to their shard's
+    // induced subgraph (re-indexed from the shard base), cross-shard
+    // edges wait for the merge.
+    let k = topo.num_aggregators();
+    let mut local_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+    let mut cross: Vec<(u32, u32)> = Vec::new();
+    for (u, v) in g.edges() {
+        let (su, sv) = (topo.shard_of(u), topo.shard_of(v));
+        if su == sv {
+            let base = topo.members(su as usize).start;
+            local_edges[su as usize].push((u - base, v - base));
+        } else {
+            cross.push((u, v));
+        }
+    }
+
+    let mut keep: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+    let mut report = ConstructorReport {
+        trimmed: true,
+        weighted: node_costs.is_some(),
+        untrimmed_max,
+        ..Default::default()
+    };
+    for (shard, range) in topo.ranges() {
+        let base = range.start as usize;
+        let size = range.len();
+        let sub = Graph::from_edges(size, &local_edges[shard]);
+        let local_costs: Option<Vec<u64>> = node_costs.map(|c| c[base..base + size].to_vec());
+        let mut oracle = make_oracle_backend(security, backend, shard_seed(seed, shard));
+        let init = greedy_init_weighted(&sub, local_costs.as_deref(), oracle.as_mut());
+        let mcmc_cfg = McmcConfig {
+            iterations: mcmc_iterations,
+            seed: shard_seed(seed, shard) ^ 0x5EED,
+        };
+        let outcome = mcmc_balance(&sub, init, &mcmc_cfg, oracle.as_mut());
+        debug_assert!(outcome.assignment.check_feasible(&sub).is_ok());
+        for local in 0..size {
+            keep[base + local] = outcome
+                .assignment
+                .kept(local as u32)
+                .iter()
+                .map(|&w| w + base as u32)
+                .collect();
+        }
+        let meter = oracle.meter();
+        report.secure_comm.messages += meter.messages;
+        report.secure_comm.bytes += meter.bytes;
+        report.comparisons += oracle.comparisons();
+        report.server_messages += outcome.stats.server.messages;
+        if report.mcmc_trace.len() < outcome.trace.len() {
+            report.mcmc_trace.resize(outcome.trace.len(), 0);
+        }
+        for (global, &local) in report.mcmc_trace.iter_mut().zip(&outcome.trace) {
+            *global = (*global).max(local);
+        }
+    }
+
+    // Restore coverage of the edges no shard saw.
+    for (u, v) in cross {
+        let (u, v) = if (keep[u as usize].len(), u) <= (keep[v as usize].len(), v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        keep[u as usize].push(v);
+    }
+
+    let mut assignment = Assignment::from_sets(keep);
+    if let Some(costs) = node_costs {
+        assignment = assignment.with_costs(costs.to_vec());
+    }
+    sw.stop();
+    debug_assert!(assignment.check_feasible(g).is_ok());
+    report.workloads = assignment.workloads();
+    report.max_workload = assignment.objective();
+    report.max_weighted_workload = assignment.weighted_objective();
+    report.wall_secs = sw.secs();
+    (assignment, report)
 }
 
 #[cfg(test)]
@@ -206,6 +346,99 @@ mod tests {
             "bit-slicing must collapse constructor traffic: {} vs {}",
             rep_sliced.secure_comm.messages,
             rep_scalar.secure_comm.messages
+        );
+    }
+
+    #[test]
+    fn sharded_construction_is_feasible_and_deterministic() {
+        let g = graph();
+        let topo = Topology::seeded(g.num_nodes(), 4, 9);
+        let build = || {
+            construct_assignment_sharded(
+                &g,
+                true,
+                60,
+                SecurityMode::CostModel,
+                CompareBackend::Scalar,
+                11,
+                None,
+                &topo,
+            )
+        };
+        let (a1, rep) = build();
+        let (a2, _) = build();
+        assert_eq!(a1, a2, "sharded construction must be deterministic");
+        a1.check_feasible(&g)
+            .expect("merged assignment must cover every edge");
+        // Every device owns exactly one keep set (exact cover over
+        // devices), and the report aggregates all four shards.
+        assert_eq!(a1.num_devices(), g.num_nodes());
+        assert_eq!(rep.workloads.len(), g.num_nodes());
+        assert!(rep.trimmed);
+        assert!(rep.comparisons > 0);
+        assert_eq!(rep.mcmc_trace.len(), 60);
+        // Sharding still trims: far below the untrimmed max degree.
+        assert!(rep.max_workload * 2 <= rep.untrimmed_max);
+    }
+
+    #[test]
+    fn sharded_construction_collapses_to_flat_at_one_shard() {
+        let g = graph();
+        let topo = Topology::contiguous(g.num_nodes(), 1);
+        let (flat, flat_rep) = construct_assignment(
+            &g,
+            true,
+            40,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            5,
+            None,
+        );
+        let (sharded, sharded_rep) = construct_assignment_sharded(
+            &g,
+            true,
+            40,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            5,
+            None,
+            &topo,
+        );
+        assert_eq!(flat, sharded, "one shard is the flat problem");
+        assert_eq!(flat_rep.mcmc_trace, sharded_rep.mcmc_trace);
+        assert_eq!(flat_rep.comparisons, sharded_rep.comparisons);
+    }
+
+    #[test]
+    fn sharded_construction_compares_fewer_devices() {
+        // K independent problems of size n/K need far fewer secure
+        // comparisons than one problem of size n — that's the point.
+        let g = graph();
+        let topo = Topology::contiguous(g.num_nodes(), 8);
+        let (_, flat) = construct_assignment(
+            &g,
+            true,
+            60,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            3,
+            None,
+        );
+        let (_, sharded) = construct_assignment_sharded(
+            &g,
+            true,
+            60,
+            SecurityMode::CostModel,
+            CompareBackend::Scalar,
+            3,
+            None,
+            &topo,
+        );
+        assert!(
+            sharded.comparisons < flat.comparisons,
+            "sharded {} vs flat {}",
+            sharded.comparisons,
+            flat.comparisons
         );
     }
 

@@ -35,10 +35,11 @@ pub mod tree;
 
 pub use batch::{build_batched, BatchedTrees};
 pub use config::{LumosConfig, TaskKind};
-pub use constructor::construct_assignment;
+pub use constructor::{construct_assignment, construct_assignment_sharded};
 pub use init::{exchange_features, LdpExchange};
 pub use lumos_balance::{BalanceObjective, CompareBackend};
 pub use lumos_sim::AggregationPolicy;
+pub use lumos_topo::{Topology, TopologyConfig};
 pub use report::{ConstructorReport, EpochMetrics, RunReport, SimSummary};
 pub use trainer::run_lumos;
 pub use tree::{DeviceTree, LocalGraphKind, TreeNode};

@@ -22,4 +22,4 @@ pub mod runtime;
 
 pub use clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
 pub use network::{DeviceTraffic, EdgeTraffic, NetworkSnapshot, SimNetwork};
-pub use runtime::{ledger_work, EpochRecord, Runtime, UNAVAILABLE_COST_FACTOR};
+pub use runtime::{ledger_work, EpochRecord, Runtime, TierSpec, UNAVAILABLE_COST_FACTOR};

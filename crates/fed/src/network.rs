@@ -12,6 +12,24 @@
 
 use std::collections::BTreeMap;
 
+/// Compact per-shard ledger used by hierarchical topologies.
+///
+/// At 10⁵–10⁶ devices the per-edge `BTreeMap` is the memory wall: one
+/// entry per directed `(sender → receiver)` pair is O(edges). The
+/// sharded ledger replaces it with two O(aggregators) tally arrays —
+/// device-tier traffic into each shard's aggregator, and each
+/// aggregator's partials to the server — so a sharded network is
+/// O(devices + aggregators) regardless of how chatty the fleet is.
+#[derive(Debug, Clone)]
+struct ShardLedger {
+    /// Shard (aggregator) each device reports to.
+    shard_of: Vec<u32>,
+    /// Device → aggregator traffic per shard.
+    up: Vec<EdgeTraffic>,
+    /// Aggregator → server traffic per shard.
+    down: Vec<EdgeTraffic>,
+}
+
 /// Per-device communication tallies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceTraffic {
@@ -45,7 +63,12 @@ pub struct SimNetwork {
     server_received: u64,
     server_sent: u64,
     server_bytes_sent: u64,
+    server_bytes_received: u64,
     rounds: u64,
+    /// `Some` switches the ledger into compact sharded mode: device-to-
+    /// device messages keep their per-device tallies but skip the
+    /// per-edge map, and aggregator traffic is tallied per shard.
+    sharded: Option<ShardLedger>,
 }
 
 impl SimNetwork {
@@ -62,8 +85,28 @@ impl SimNetwork {
             server_received: 0,
             server_sent: 0,
             server_bytes_sent: 0,
+            server_bytes_received: 0,
             rounds: 0,
+            sharded: None,
         }
+    }
+
+    /// Creates a network in compact sharded mode: `shard_of[d]` names the
+    /// aggregator device `d` reports to. Memory stays
+    /// O(devices + aggregators) — no per-edge map is kept, so inbound
+    /// timing degrades to the aggregate schedule (`ledger_work` handles
+    /// the switch).
+    pub fn new_sharded(shard_of: Vec<u32>) -> Self {
+        assert!(!shard_of.is_empty(), "sharded network needs devices");
+        let aggregators = shard_of.iter().copied().max().unwrap() as usize + 1;
+        let n = shard_of.len();
+        let mut net = Self::new(n);
+        net.sharded = Some(ShardLedger {
+            shard_of,
+            up: vec![EdgeTraffic::default(); aggregators],
+            down: vec![EdgeTraffic::default(); aggregators],
+        });
+        net
     }
 
     /// Number of devices.
@@ -71,7 +114,31 @@ impl SimNetwork {
         self.devices.len()
     }
 
+    /// Whether the ledger runs in compact sharded mode.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded.is_some()
+    }
+
+    /// Number of edge aggregators (0 in flat mode).
+    pub fn num_aggregators(&self) -> usize {
+        self.sharded.as_ref().map_or(0, |s| s.up.len())
+    }
+
+    /// Live ledger entry count — the memory the accounting structures
+    /// actually hold: per-edge map entries in flat mode, the two
+    /// per-shard tally arrays in sharded mode.
+    pub fn ledger_entries(&self) -> usize {
+        match &self.sharded {
+            Some(s) => s.up.len() + s.down.len(),
+            None => self.edges.len(),
+        }
+    }
+
     fn record_edge(&mut self, from: u32, to: u32, bytes: u64) {
+        // Sharded mode keeps no per-edge map — that's the whole point.
+        if self.sharded.is_some() {
+            return;
+        }
         let e = self.edges.entry((from, to)).or_default();
         e.messages += 1;
         e.bytes += bytes;
@@ -94,7 +161,58 @@ impl SimNetwork {
         d.sent += 1;
         d.bytes_sent += bytes;
         self.server_received += 1;
+        self.server_bytes_received += bytes;
         self.record_edge(from, Self::SERVER, bytes);
+    }
+
+    /// Records a device's upload to its shard aggregator (hierarchical
+    /// topologies only). Costs the device exactly what a server upload
+    /// would — one message, `bytes` payload — but lands on the shard
+    /// tally instead of the server: the server never sees it.
+    pub fn send_to_aggregator(&mut self, from: u32, bytes: u64) {
+        let shard = {
+            let s = self
+                .sharded
+                .as_ref()
+                .expect("send_to_aggregator requires a sharded network");
+            s.shard_of[from as usize] as usize
+        };
+        let d = &mut self.devices[from as usize];
+        d.sent += 1;
+        d.bytes_sent += bytes;
+        let s = self.sharded.as_mut().unwrap();
+        s.up[shard].messages += 1;
+        s.up[shard].bytes += bytes;
+    }
+
+    /// Records one aggregator's pooled partial reaching the server. This
+    /// is infrastructure traffic — it shows up in the server's inbound
+    /// counters and the shard tally, not in any device's — so per-round
+    /// server traffic is O(aggregators) by construction.
+    pub fn send_aggregator_to_server(&mut self, shard: u32, bytes: u64) {
+        let s = self
+            .sharded
+            .as_mut()
+            .expect("send_aggregator_to_server requires a sharded network");
+        let e = &mut s.down[shard as usize];
+        e.messages += 1;
+        e.bytes += bytes;
+        self.server_received += 1;
+        self.server_bytes_received += bytes;
+    }
+
+    /// Device-tier traffic into one shard's aggregator.
+    pub fn shard_up(&self, shard: u32) -> EdgeTraffic {
+        self.sharded
+            .as_ref()
+            .map_or_else(EdgeTraffic::default, |s| s.up[shard as usize])
+    }
+
+    /// One shard's aggregator-to-server traffic.
+    pub fn shard_down(&self, shard: u32) -> EdgeTraffic {
+        self.sharded
+            .as_ref()
+            .map_or_else(EdgeTraffic::default, |s| s.down[shard as usize])
     }
 
     /// Records a server-to-device message.
@@ -148,6 +266,12 @@ impl SimNetwork {
     /// Messages received by the server.
     pub fn server_received(&self) -> u64 {
         self.server_received
+    }
+
+    /// Payload bytes received by the server — direct device uploads in
+    /// the flat topology, aggregator partials in the hierarchical one.
+    pub fn server_bytes_received(&self) -> u64 {
+        self.server_bytes_received
     }
 
     /// Average messages sent per device (Fig. 8a's y-axis when divided by
@@ -317,6 +441,64 @@ mod tests {
         assert_eq!(net.total_messages() - snap.total_messages, 2);
         assert_eq!(net.bytes_sent_since(&snap), vec![8, 8]);
         assert_eq!(net.bytes_received_since(&snap), vec![8, 8]);
+    }
+
+    #[test]
+    fn sharded_ledger_is_compact_and_routes_through_aggregators() {
+        // 4 devices across 2 shards. Device uploads land on shard
+        // tallies; the server only hears from aggregators.
+        let mut net = SimNetwork::new_sharded(vec![0, 0, 1, 1]);
+        assert!(net.is_sharded());
+        assert_eq!(net.num_aggregators(), 2);
+        for d in 0..4 {
+            net.send_to_aggregator(d, 64);
+        }
+        net.send(0, 2, 8); // cross-shard gossip keeps device tallies only
+        net.send_aggregator_to_server(0, 64);
+        net.send_aggregator_to_server(1, 64);
+        net.round();
+        // Server traffic is O(aggregators): 2 messages, not 4.
+        assert_eq!(net.server_received(), 2);
+        assert_eq!(net.server_bytes_received(), 128);
+        assert_eq!(
+            net.shard_up(0),
+            EdgeTraffic {
+                messages: 2,
+                bytes: 128
+            }
+        );
+        assert_eq!(
+            net.shard_down(1),
+            EdgeTraffic {
+                messages: 1,
+                bytes: 64
+            }
+        );
+        // Device totals still price each upload at the sender.
+        assert_eq!(net.device(0).sent, 2);
+        assert_eq!(net.device(0).bytes_sent, 72);
+        assert_eq!(net.total_messages(), 5);
+        // No per-edge map: memory is the 2×K tallies, however chatty.
+        assert_eq!(net.ledger_entries(), 4);
+        assert!(net
+            .received_matrix_since(&net.snapshot())
+            .iter()
+            .all(Vec::is_empty));
+    }
+
+    #[test]
+    fn flat_ledger_counts_server_bytes_received() {
+        let mut net = SimNetwork::new(2);
+        net.send_to_server(0, 10);
+        net.send_to_server(1, 30);
+        assert_eq!(net.server_bytes_received(), 40);
+        assert_eq!(net.ledger_entries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sharded network")]
+    fn aggregator_send_requires_sharded_mode() {
+        SimNetwork::new(2).send_to_aggregator(0, 8);
     }
 
     #[test]

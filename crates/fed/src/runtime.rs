@@ -10,6 +10,7 @@
 
 use lumos_common::timer::Stopwatch;
 use lumos_sim::{simulate_epoch, DeviceProfile, DeviceWork, EpochStats, Inbound};
+use lumos_topo::{tier_timing, Topology};
 
 use crate::clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
 use crate::network::{NetworkSnapshot, SimNetwork};
@@ -50,6 +51,22 @@ pub fn ledger_work(
     );
     let sent = network.sent_since(snap);
     let bytes_out = network.bytes_sent_since(snap);
+    if network.is_sharded() {
+        // The compact sharded ledger keeps no per-edge map, so the
+        // inbound side degrades to the aggregate (self-timed) schedule —
+        // the deliberate memory-for-precision trade at 10⁵+ devices.
+        let bytes_in = network.bytes_received_since(snap);
+        return device_tree_nodes
+            .iter()
+            .enumerate()
+            .map(|(d, &nodes)| DeviceWork {
+                compute_units: (nodes * layers) as f64,
+                messages_out: sent[d],
+                bytes_out: bytes_out[d],
+                inbound: Inbound::Aggregate(bytes_in[d]),
+            })
+            .collect();
+    }
     let inbound = network.received_matrix_since(snap);
     device_tree_nodes
         .iter()
@@ -62,6 +79,20 @@ pub fn ledger_work(
             inbound: Inbound::PerSender(from),
         })
         .collect()
+}
+
+/// The aggregator tier of a hierarchical topology, as the runtime prices
+/// it: which shard each device reports to, the profile every edge
+/// aggregator uploads with, and the wire size of one pooled partial.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// The device → aggregator partition.
+    pub topology: Topology,
+    /// Profile the aggregators upload to the server with.
+    pub aggregator: DeviceProfile,
+    /// Bytes of one aggregator partial (the server's per-round inbound
+    /// traffic is `aggregators × partial_bytes`).
+    pub partial_bytes: u64,
 }
 
 /// Record of one completed epoch.
@@ -111,6 +142,8 @@ pub struct Runtime {
     late_drops: u64,
     current: Option<(usize, Stopwatch, NetworkSnapshot)>,
     deferred: Vec<DeferredSends>,
+    tier: Option<TierSpec>,
+    tier2_secs: f64,
 }
 
 impl Runtime {
@@ -125,7 +158,38 @@ impl Runtime {
             late_drops: 0,
             current: None,
             deferred: Vec::new(),
+            tier: None,
+            tier2_secs: 0.0,
         }
+    }
+
+    /// Installs the aggregator tier: subsequent profiled epochs compose
+    /// aggregator → server delivery on top of the device-tier schedule,
+    /// extending each epoch's makespan to the last aggregator partial's
+    /// arrival. Only meaningful with ≥ 2 aggregators — the trainer never
+    /// installs a single-aggregator tier, because that resolves to the
+    /// flat topology (`TopologyConfig::effective`).
+    ///
+    /// # Panics
+    /// Panics if the topology's fleet size disagrees with the network's.
+    pub fn set_tier(&mut self, tier: TierSpec) {
+        assert_eq!(
+            tier.topology.num_devices(),
+            self.network.num_devices(),
+            "tier topology and network disagree on fleet size"
+        );
+        self.tier = Some(tier);
+    }
+
+    /// The installed aggregator tier, if hierarchical.
+    pub fn tier(&self) -> Option<&TierSpec> {
+        self.tier.as_ref()
+    }
+
+    /// Total virtual seconds the aggregator → server tier added across
+    /// profiled epochs (how much of the makespan the extra hop cost).
+    pub fn total_tier2_secs(&self) -> f64 {
+        self.tier2_secs
     }
 
     /// Creates a runtime whose epochs are additionally priced per-device by
@@ -245,7 +309,7 @@ impl Runtime {
             .collect();
         let total_messages = self.network.total_messages() - snap.total_messages;
         let n = self.network.num_devices().max(1) as f64;
-        let sim = self.profiles.as_ref().map(|profiles| {
+        let mut sim = self.profiles.as_ref().map(|profiles| {
             let work = ledger_work(&self.network, &snap, device_tree_nodes, layers);
             if late.is_empty() {
                 simulate_epoch(profiles, &work)
@@ -257,6 +321,15 @@ impl Runtime {
                 simulate_epoch(&overlay, &work)
             }
         });
+        if let (Some(stats), Some(tier)) = (sim.as_mut(), self.tier.as_ref()) {
+            // Hierarchical: the round closes when the last aggregator
+            // partial lands at the server, not when the last device-tier
+            // event fires.
+            let t2 = tier_timing(stats, &tier.topology, &tier.aggregator, tier.partial_bytes);
+            let extended = stats.makespan_secs.max(t2.server_makespan_secs);
+            self.tier2_secs += extended - stats.makespan_secs;
+            stats.makespan_secs = extended;
+        }
         self.late_drops += late.len() as u64;
         self.epochs.push(EpochRecord {
             epoch: idx,
@@ -527,6 +600,70 @@ mod tests {
         );
         assert_eq!(ds.active_devices, 3, "the late device sat the round out");
         assert_eq!(fs.active_devices, 4);
+    }
+
+    #[test]
+    fn tiered_epochs_extend_the_makespan_to_the_last_partial() {
+        let profiles = vec![DeviceProfile::baseline(); 4];
+        let run = |tier: bool| {
+            let topo = Topology::contiguous(4, 2);
+            let mut rt = Runtime::with_profiles(4, CostModel::default(), profiles.clone());
+            if tier {
+                rt.network = SimNetwork::new_sharded(topo.shard_vector());
+                rt.set_tier(TierSpec {
+                    topology: topo,
+                    aggregator: DeviceProfile::baseline(),
+                    partial_bytes: 64,
+                });
+            }
+            rt.begin_epoch();
+            for d in 0..4 {
+                if tier {
+                    rt.network.send_to_aggregator(d, 64);
+                } else {
+                    rt.network.send_to_server(d, 64);
+                }
+            }
+            if tier {
+                for k in 0..2 {
+                    rt.network.send_aggregator_to_server(k, 64);
+                }
+            }
+            let rec = rt.end_epoch(&[5, 5, 5, 5], 2).clone();
+            (rec.sim.unwrap().makespan_secs, rt.total_tier2_secs())
+        };
+        let (flat, flat_t2) = run(false);
+        let (tiered, t2) = run(true);
+        assert_eq!(flat_t2, 0.0, "flat runs pay no tier-2 time");
+        assert!(t2 > 0.0, "the aggregator hop must cost virtual time");
+        assert!(
+            tiered > flat,
+            "tiered makespan {tiered} must extend past the device tier {flat}"
+        );
+        assert!((tiered - (flat + t2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_ledger_work_uses_the_aggregate_schedule() {
+        let mut net = SimNetwork::new_sharded(vec![0, 0, 1]);
+        let snap = net.snapshot();
+        net.send(0, 2, 100);
+        net.send_to_aggregator(1, 64);
+        let work = ledger_work(&net, &snap, &[3, 3, 3], 2);
+        assert!(matches!(work[2].inbound, Inbound::Aggregate(100)));
+        assert_eq!(work[1].messages_out, 1);
+        assert_eq!(work[1].bytes_out, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on fleet size")]
+    fn mismatched_tier_panics() {
+        let mut rt = Runtime::new(3, CostModel::default());
+        rt.set_tier(TierSpec {
+            topology: Topology::contiguous(4, 2),
+            aggregator: DeviceProfile::baseline(),
+            partial_bytes: 64,
+        });
     }
 
     #[test]

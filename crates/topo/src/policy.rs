@@ -1,0 +1,136 @@
+//! Per-shard application of the aggregation deadline policy.
+
+use lumos_sim::{AggregationPolicy, EpochStats};
+
+use crate::topology::Topology;
+
+/// Applies `policy.late_with_staleness` independently per shard: each
+/// aggregator measures its own members' delivery times against its own
+/// local median deadline, exactly as the server does globally in the
+/// flat path. Returns the union of every shard's `(device, staleness)`
+/// verdicts, sorted by device id.
+///
+/// With a single shard the mask keeps every entry, so the result is
+/// bit-identical to calling the policy on `stats` directly (pinned by
+/// `single_shard_matches_global_policy` below).
+pub fn shard_late_with_staleness(
+    policy: &AggregationPolicy,
+    stats: &EpochStats,
+    topo: &Topology,
+) -> Vec<(u32, u32)> {
+    assert_eq!(
+        stats.update_delivery_secs.len(),
+        topo.num_devices(),
+        "topology and epoch stats disagree on fleet size"
+    );
+    if topo.num_aggregators() == 1 {
+        return policy.late_with_staleness(stats);
+    }
+    // One reusable scratch copy; per shard only the members' delivery
+    // entries survive, so the policy's median is the shard-local one.
+    let mut scratch = stats.clone();
+    let mut late = Vec::new();
+    for (_, range) in topo.ranges() {
+        scratch
+            .update_delivery_secs
+            .iter_mut()
+            .for_each(|t| *t = None);
+        let lo = range.start as usize;
+        let hi = range.end as usize;
+        scratch.update_delivery_secs[lo..hi].copy_from_slice(&stats.update_delivery_secs[lo..hi]);
+        late.extend(policy.late_with_staleness(&scratch));
+    }
+    late.sort_unstable_by_key(|&(d, _)| d);
+    late
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_deliveries(times: Vec<Option<f64>>) -> EpochStats {
+        let n = times.len();
+        EpochStats {
+            makespan_secs: times.iter().flatten().fold(0.0f64, |a, &b| a.max(b)),
+            busy_secs: vec![0.0; n],
+            idle_secs: vec![0.0; n],
+            update_delivery_secs: times,
+            straggler: None,
+            active_devices: n,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_global_policy() {
+        let stats = stats_with_deliveries(vec![
+            Some(1.0),
+            Some(2.0),
+            Some(40.0),
+            Some(1.5),
+            None,
+            Some(3.0),
+        ]);
+        let policy = AggregationPolicy::Deadline { factor: 2.0 };
+        let topo = Topology::contiguous(6, 1);
+        assert_eq!(
+            shard_late_with_staleness(&policy, &stats, &topo),
+            policy.late_with_staleness(&stats)
+        );
+    }
+
+    #[test]
+    fn shards_use_local_medians() {
+        // Shard 0 is uniformly slow, shard 1 uniformly fast. A global
+        // 2× median deadline would drop all of shard 0; shard-local
+        // deadlines drop nobody — each shard is internally homogeneous.
+        let stats = stats_with_deliveries(vec![
+            Some(100.0),
+            Some(110.0),
+            Some(105.0),
+            Some(1.0),
+            Some(1.1),
+            Some(1.05),
+        ]);
+        let policy = AggregationPolicy::Deadline { factor: 2.0 };
+        let global = policy.late_with_staleness(&stats);
+        assert!(
+            !global.is_empty(),
+            "global deadline should drop the slow half"
+        );
+        let topo = Topology::contiguous(6, 2);
+        let sharded = shard_late_with_staleness(&policy, &stats, &topo);
+        assert!(
+            sharded.is_empty(),
+            "local deadlines keep homogeneous shards"
+        );
+    }
+
+    #[test]
+    fn sharded_verdicts_are_sorted_and_deduplicated_by_construction() {
+        let stats = stats_with_deliveries(vec![
+            Some(1.0),
+            Some(50.0),
+            Some(1.0),
+            Some(60.0),
+            Some(1.0),
+            Some(1.0),
+        ]);
+        let policy = AggregationPolicy::Deadline { factor: 2.0 };
+        let topo = Topology::contiguous(6, 3);
+        let late = shard_late_with_staleness(&policy, &stats, &topo);
+        assert!(late.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(d, s) in &late {
+            assert!(d == 1 || d == 3, "only the per-shard stragglers drop");
+            assert!(s >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on fleet size")]
+    fn fleet_size_mismatch_panics() {
+        let stats = stats_with_deliveries(vec![Some(1.0); 4]);
+        let topo = Topology::contiguous(6, 2);
+        shard_late_with_staleness(&AggregationPolicy::FullSync, &stats, &topo);
+    }
+}

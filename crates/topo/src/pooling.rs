@@ -1,0 +1,131 @@
+//! Scalar reference model of the two-tier POOL.
+//!
+//! The trainer's real tiered pooling runs on the autodiff tape
+//! (per-shard `gather_rows → scale_rows → scatter_add_rows` partials
+//! folded with `add`). These functions model the same arithmetic over
+//! plain `f64` arrays so property tests can check conservation — the
+//! two-tier merge must pool exactly the same mass as the flat path —
+//! without building a training run.
+
+use crate::topology::Topology;
+
+fn weight_sums(num_vertices: usize, vertices: &[u32], weights: &[f64]) -> Vec<f64> {
+    let mut sums = vec![0.0f64; num_vertices];
+    for (&v, &w) in vertices.iter().zip(weights) {
+        sums[v as usize] += w;
+    }
+    sums
+}
+
+fn normalize(mut acc: Vec<f64>, sums: &[f64]) -> Vec<f64> {
+    for (a, &s) in acc.iter_mut().zip(sums) {
+        if s > 0.0 {
+            *a /= s;
+        } else {
+            *a = 0.0;
+        }
+    }
+    acc
+}
+
+/// Flat weighted POOL: one global weighted mean per vertex.
+///
+/// `owners[i]` is the device whose tree contributed leaf `i`,
+/// `vertices[i]` the vertex the leaf pools into; leaves must be in
+/// device order (the batched-forest layout).
+pub fn pool_flat(
+    num_vertices: usize,
+    vertices: &[u32],
+    values: &[f64],
+    weights: &[f64],
+) -> Vec<f64> {
+    assert_eq!(vertices.len(), values.len());
+    assert_eq!(vertices.len(), weights.len());
+    let mut acc = vec![0.0f64; num_vertices];
+    for ((&v, &x), &w) in vertices.iter().zip(values).zip(weights) {
+        acc[v as usize] += x * w;
+    }
+    let sums = weight_sums(num_vertices, vertices, weights);
+    normalize(acc, sums.as_slice())
+}
+
+/// Two-tier weighted POOL: each aggregator accumulates its own members'
+/// weighted leaves into a partial, the server sums the K partials, and
+/// only then normalizes. The division happens once, at the server, so
+/// the tiers change the *order* of the additions but not the pooled
+/// mass.
+pub fn pool_tiered(
+    num_vertices: usize,
+    topo: &Topology,
+    owners: &[u32],
+    vertices: &[u32],
+    values: &[f64],
+    weights: &[f64],
+) -> Vec<f64> {
+    assert_eq!(owners.len(), vertices.len());
+    assert_eq!(vertices.len(), values.len());
+    assert_eq!(vertices.len(), weights.len());
+    let mut server = vec![0.0f64; num_vertices];
+    for (_, range) in topo.ranges() {
+        let mut partial = vec![0.0f64; num_vertices];
+        for (((&o, &v), &x), &w) in owners.iter().zip(vertices).zip(values).zip(weights) {
+            if range.contains(&o) {
+                partial[v as usize] += x * w;
+            }
+        }
+        for (s, p) in server.iter_mut().zip(&partial) {
+            *s += p;
+        }
+    }
+    let sums = weight_sums(num_vertices, vertices, weights);
+    normalize(server, sums.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_conserve_the_pool_on_a_small_case() {
+        // 4 devices, 2 shards, 3 vertices; each device contributes two
+        // leaves. All-ones weights: tiered must match flat.
+        let owners = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let vertices = vec![0, 1, 1, 2, 0, 2, 1, 0];
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let weights = vec![1.0; 8];
+        let topo = Topology::contiguous(4, 2);
+        let flat = pool_flat(3, &vertices, &values, &weights);
+        let tiered = pool_tiered(3, &topo, &owners, &vertices, &values, &weights);
+        for (f, t) in flat.iter().zip(&tiered) {
+            assert!((f - t).abs() < 1e-12, "flat {f} vs tiered {t}");
+        }
+    }
+
+    #[test]
+    fn single_shard_is_bitwise_flat() {
+        let owners = vec![0, 1, 2];
+        let vertices = vec![0, 0, 1];
+        let values = vec![0.25, 0.5, -3.0];
+        let weights = vec![1.0, 0.5, 2.0];
+        let topo = Topology::contiguous(3, 1);
+        let flat = pool_flat(2, &vertices, &values, &weights);
+        let tiered = pool_tiered(2, &topo, &owners, &vertices, &values, &weights);
+        assert_eq!(
+            flat.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            tiered.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "one shard must be the identical accumulation order"
+        );
+    }
+
+    #[test]
+    fn zero_weight_vertices_pool_to_zero() {
+        let owners = vec![0, 1];
+        let vertices = vec![0, 1];
+        let values = vec![9.0, 9.0];
+        let weights = vec![0.0, 1.0];
+        let topo = Topology::contiguous(2, 2);
+        let tiered = pool_tiered(2, &topo, &owners, &vertices, &values, &weights);
+        assert_eq!(tiered[0], 0.0);
+        assert_eq!(tiered[1], 9.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tier-2 delivery timing, composed on top of a device-tier epoch.
+//!
+//! The device tier is priced by `lumos_sim::simulate_epoch` exactly as
+//! in the flat path. The second tier composes on its output: an
+//! aggregator's pooled partial is ready when its slowest member's
+//! update lands, then pays the aggregator's own uplink + propagation
+//! latency to reach the server. The server's round closes when the last
+//! aggregator partial arrives.
+
+use lumos_sim::{DeviceProfile, EpochStats};
+
+use crate::topology::Topology;
+
+/// Tier-2 (aggregator → server) delivery schedule for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierTiming {
+    /// When each aggregator's partial reached the server. `None` when no
+    /// member delivered an update this epoch (the aggregator sends
+    /// nothing).
+    pub aggregator_delivery_secs: Vec<Option<f64>>,
+    /// Virtual seconds until the last aggregator partial landed
+    /// (0.0 when nothing was delivered at all).
+    pub server_makespan_secs: f64,
+}
+
+/// Prices the aggregator → server tier for one epoch.
+///
+/// `aggregator` is the profile every edge aggregator uploads with, and
+/// `partial_bytes` the wire size of one pooled partial — the hierarchy's
+/// whole point is that the server's inbound traffic is
+/// `num_aggregators × partial_bytes` per round, independent of fleet
+/// size.
+pub fn tier_timing(
+    stats: &EpochStats,
+    topo: &Topology,
+    aggregator: &DeviceProfile,
+    partial_bytes: u64,
+) -> TierTiming {
+    assert_eq!(
+        stats.update_delivery_secs.len(),
+        topo.num_devices(),
+        "topology and epoch stats disagree on fleet size"
+    );
+    let hop = aggregator.upload_secs(partial_bytes) + aggregator.latency_secs;
+    let mut deliveries = Vec::with_capacity(topo.num_aggregators());
+    let mut makespan = 0.0f64;
+    for (_, range) in topo.ranges() {
+        let lo = range.start as usize;
+        let hi = range.end as usize;
+        let ready = stats.update_delivery_secs[lo..hi]
+            .iter()
+            .flatten()
+            .fold(None::<f64>, |acc, &t| Some(acc.map_or(t, |a| a.max(t))));
+        let delivery = ready.map(|t| t + hop);
+        if let Some(t) = delivery {
+            makespan = makespan.max(t);
+        }
+        deliveries.push(delivery);
+    }
+    TierTiming {
+        aggregator_delivery_secs: deliveries,
+        server_makespan_secs: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(times: Vec<Option<f64>>) -> EpochStats {
+        let n = times.len();
+        EpochStats {
+            makespan_secs: 0.0,
+            busy_secs: vec![0.0; n],
+            idle_secs: vec![0.0; n],
+            update_delivery_secs: times,
+            straggler: None,
+            active_devices: n,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn aggregator_waits_for_its_slowest_member() {
+        let s = stats(vec![Some(1.0), Some(5.0), Some(2.0), Some(3.0)]);
+        let topo = Topology::contiguous(4, 2);
+        let agg = DeviceProfile::baseline();
+        let hop = agg.upload_secs(64) + agg.latency_secs;
+        let t = tier_timing(&s, &topo, &agg, 64);
+        assert_eq!(t.aggregator_delivery_secs[0], Some(5.0 + hop));
+        assert_eq!(t.aggregator_delivery_secs[1], Some(3.0 + hop));
+        assert_eq!(t.server_makespan_secs, 5.0 + hop);
+    }
+
+    #[test]
+    fn silent_shard_sends_no_partial() {
+        let s = stats(vec![None, None, Some(2.0), Some(1.0)]);
+        let topo = Topology::contiguous(4, 2);
+        let agg = DeviceProfile::baseline();
+        let t = tier_timing(&s, &topo, &agg, 64);
+        assert_eq!(t.aggregator_delivery_secs[0], None);
+        assert!(t.aggregator_delivery_secs[1].is_some());
+        assert!(t.server_makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn fully_silent_epoch_has_zero_server_makespan() {
+        let s = stats(vec![None, None]);
+        let topo = Topology::contiguous(2, 2);
+        let t = tier_timing(&s, &topo, &DeviceProfile::baseline(), 64);
+        assert_eq!(t.server_makespan_secs, 0.0);
+        assert!(t.aggregator_delivery_secs.iter().all(Option::is_none));
+    }
+}
