@@ -8,6 +8,7 @@
 //! [`CompareOracle`](oracle::CompareOracle), which either executes the real
 //! simulated two-party circuits or charges the identical cost model.
 
+#![forbid(unsafe_code)]
 pub mod analysis;
 pub mod exact;
 pub mod flow;
@@ -33,5 +34,5 @@ pub use oracle::{
     make_oracle, make_oracle_backend, BitslicedPlainOracle, BitslicedSecureOracle, CompareBackend,
     CompareOracle, MeteredPlainOracle, SecureOracle, SecurityMode,
 };
-pub use problem::{objective_lower_bound, Assignment, BalanceObjective};
+pub use problem::{device_id_count, objective_lower_bound, Assignment, BalanceObjective};
 pub use rebalance::{rebalance_assignment, RebalanceOutcome};

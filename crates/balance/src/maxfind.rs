@@ -73,7 +73,7 @@ pub fn find_max_workload_device(
     // immutable for the duration of the protocol, so re-deriving
     // `weighted_workload` per edge endpoint (twice per edge, again per
     // phase-2 candidate) was pure waste.
-    let wl: Vec<u64> = (0..n as u32)
+    let wl: Vec<u64> = (0..crate::problem::device_id_count(n))
         .map(|v| {
             let w = assignment.weighted_workload(v);
             debug_assert!(w < 1u64 << bits, "workload {w} overflows {bits} bits");
@@ -104,7 +104,7 @@ pub fn find_max_workload_device(
     let mut server = ServerTraffic::default();
     // Every device sends its candidate flag to the server (Alg. 3 line 16).
     server.messages += n as u64;
-    let cvs: Vec<u32> = (0..n as u32)
+    let cvs: Vec<u32> = (0..crate::problem::device_id_count(n))
         .filter(|&v| is_candidate[v as usize])
         .collect();
 
@@ -187,7 +187,7 @@ mod tests {
         // candidates; any of them is a legal answer.
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         let a = Assignment::full(&g);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..40u64 {
             let mut oracle = MeteredPlainOracle::new();
             let mut r = Xoshiro256pp::seed_from_u64(seed);

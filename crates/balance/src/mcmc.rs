@@ -113,9 +113,13 @@ pub fn mcmc_balance(
             weighted_trace.push(assignment.weighted_objective());
             continue;
         }
-        let f_old = assignment.weighted_workload(u) as i64;
+        // `weighted_workload` guarantees ≤ i64::MAX (checked mul + bound),
+        // so the conversion cannot fail; try_from documents the invariant.
+        let f_old = i64::try_from(assignment.weighted_workload(u))
+            .expect("weighted workload fits the i64 secure-difference lane");
 
         // Lines 3–4: sample the step size and the branches to move.
+        // lumos-lint: allow(lossy-cast) — k_max = round(ln(wl)) ≤ 45 for any u64 workload; truncation impossible
         let k_max = ((wl_u as f64).ln().round() as usize).max(1).min(wl_u);
         let k = 1 + rng.index(k_max);
         let picks: Vec<u32> = rng
@@ -133,7 +137,8 @@ pub fn mcmc_balance(
         // Line 6: most-loaded device under X'_t.
         let after = find_max_workload_device(g, &assignment, oracle, &mut rng);
         stats.server.messages += after.server.messages;
-        let f_new = assignment.weighted_workload(after.device) as i64;
+        let f_new = i64::try_from(assignment.weighted_workload(after.device))
+            .expect("weighted workload fits the i64 secure-difference lane");
 
         // Line 7: devices {u, u'} compute f(X_t) − f(X'_t) securely.
         let delta = oracle.difference(f_old, f_new);

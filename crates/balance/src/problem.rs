@@ -55,12 +55,20 @@ pub struct Assignment {
     costs: Option<Vec<u64>>,
 }
 
+/// Checked `usize → u32` device-id conversion. Device ids are `u32` on the
+/// wire (protocol messages, tree centers, share lanes), so a fleet larger
+/// than `u32::MAX` is unrepresentable — fail loudly instead of letting an
+/// `as` cast wrap ids into collisions (lumos-lint `lossy-cast`).
+pub fn device_id_count(n: usize) -> u32 {
+    u32::try_from(n).expect("fleet size exceeds the u32 device-id space")
+}
+
 impl Assignment {
     /// Creates an assignment where every device keeps all its neighbors
     /// (the untrimmed trees — "Lumos w.o. TT" in the ablation).
     pub fn full(g: &Graph) -> Self {
         Self {
-            keep: (0..g.num_nodes() as u32)
+            keep: (0..device_id_count(g.num_nodes()))
                 .map(|v| g.neighbors(v).to_vec())
                 .collect(),
             costs: None,
@@ -161,7 +169,7 @@ impl Assignment {
 
     /// All weighted workloads.
     pub fn weighted_workloads(&self) -> Vec<u64> {
-        (0..self.keep.len() as u32)
+        (0..device_id_count(self.keep.len()))
             .map(|u| self.weighted_workload(u))
             .collect()
     }
@@ -169,7 +177,7 @@ impl Assignment {
     /// The weighted objective `f(X) = max_u c_u · |N_u|` (0 for an empty
     /// system).
     pub fn weighted_objective(&self) -> u64 {
-        (0..self.keep.len() as u32)
+        (0..device_id_count(self.keep.len()))
             .map(|u| self.weighted_workload(u))
             .max()
             .unwrap_or(0)
@@ -213,8 +221,9 @@ impl Assignment {
             return Err("device count mismatch".into());
         }
         for (u, set) in self.keep.iter().enumerate() {
+            let u = u32::try_from(u).expect("device ids are u32 wire values");
             for &v in set {
-                if !g.has_edge(u as u32, v) {
+                if !g.has_edge(u, v) {
                     return Err(format!("device {u} keeps non-neighbor {v}"));
                 }
             }

@@ -10,6 +10,7 @@
 //! All three share one plain-graph training loop so the only differences
 //! are the privatized inputs, making the comparison a controlled one.
 
+#![forbid(unsafe_code)]
 pub mod common;
 pub mod systems;
 

@@ -5,6 +5,7 @@
 //! smoke|small|paper` (default `small`), `--seed N`, and print the
 //! series/rows the paper reports as markdown tables (plus CSV on request).
 
+#![forbid(unsafe_code)]
 pub mod args;
 pub mod fig3;
 pub mod fig4;

@@ -98,7 +98,8 @@ pub fn measure(n: usize, hierarchical: bool, rounds: usize, seed: u64) -> ScaleR
     let tree_sizes = vec![TREE_NODES; n];
     let aggregator = DeviceProfile::baseline();
 
-    let started = Instant::now();
+    #[allow(clippy::disallowed_methods)] // mirrored lumos-lint waiver
+    let started = Instant::now(); // lumos-lint: allow(wallclock-time) — wall-µs/device budget for the scale sweep CI gate; never mixed into virtual-time results
     let mut makespan_sum = 0.0f64;
     let mut peak_ledger = 0usize;
     for _ in 0..rounds {

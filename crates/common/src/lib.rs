@@ -15,6 +15,7 @@
 //!   harness to print the same rows/series the paper reports.
 //! * [`timer`] — wall-clock timing helpers for Figure 8 (training time).
 
+#![forbid(unsafe_code)]
 pub mod dist;
 pub mod rng;
 pub mod stats;

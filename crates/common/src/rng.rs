@@ -154,7 +154,9 @@ impl Xoshiro256pp {
         assert!(k <= n, "cannot sample {k} items from a pool of {n}");
         // For small k relative to n, Floyd's algorithm avoids O(n) setup.
         if k * 8 < n {
-            let mut chosen = std::collections::HashSet::with_capacity(k);
+            // Membership-only set, but BTreeSet regardless: the determinism
+            // contract bans HashSet from non-test code wholesale.
+            let mut chosen = std::collections::BTreeSet::new();
             let mut out = Vec::with_capacity(k);
             for j in (n - k)..n {
                 let t = self.index(j + 1);
@@ -291,7 +293,7 @@ mod tests {
         for &(n, k) in &[(10usize, 10usize), (1000, 5), (50, 25), (1, 1), (8, 0)] {
             let s = rng.sample_indices(n, k);
             assert_eq!(s.len(), k);
-            let set: std::collections::HashSet<_> = s.iter().copied().collect();
+            let set: std::collections::BTreeSet<_> = s.iter().copied().collect();
             assert_eq!(set.len(), k, "indices must be distinct");
             assert!(s.iter().all(|&i| i < n));
         }

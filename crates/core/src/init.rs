@@ -9,7 +9,10 @@
 //! `{u : v ∈ N_u}` (the devices that actually kept `v`), preserving the
 //! ε-LDP-per-recipient guarantee of Theorem 4.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: the recovered-feature map sits on the deterministic
+// path (pooling reads it per (owner, neighbor) pair), and BTree iteration
+// order is a function of the keys alone — no per-instance hash seed.
+use std::collections::BTreeMap;
 
 use lumos_common::rng::Xoshiro256pp;
 use lumos_fed::SimNetwork;
@@ -21,7 +24,7 @@ use crate::tree::DeviceTree;
 #[derive(Debug)]
 pub struct LdpExchange {
     /// Recovered feature estimates: `(tree owner u, neighbor v) → x''_v`.
-    pub recovered: HashMap<(u32, u32), Vec<f32>>,
+    pub recovered: BTreeMap<(u32, u32), Vec<f32>>,
     /// Total feature messages sent.
     pub messages: u64,
 }
@@ -54,7 +57,7 @@ pub fn exchange_features(
     // Wire cost of one binned message: each transmitted element carries its
     // 2-bit symbol plus a dimension index.
     let index_bits = (usize::BITS - (dim.max(2) - 1).leading_zeros()) as u64;
-    let mut recovered = HashMap::new();
+    let mut recovered = BTreeMap::new();
     let mut messages = 0u64;
     for v in 0..n as u32 {
         let recv = &recipients[v as usize];

@@ -25,6 +25,7 @@
 //! println!("test accuracy = {:.3}", report.test_metric);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod batch;
 pub mod config;
 pub mod constructor;

@@ -83,7 +83,9 @@ pub struct SimSummary {
 impl SimSummary {
     /// The device that straggled most often, with its epoch count.
     pub fn dominant_straggler(&self) -> Option<(u32, usize)> {
-        let mut counts = std::collections::HashMap::new();
+        // BTreeMap keeps the tally iteration key-ordered; the max_by_key
+        // tie-break below is then order-independent by construction.
+        let mut counts = std::collections::BTreeMap::new();
         for &d in &self.straggler_sequence {
             *counts.entry(d).or_insert(0usize) += 1;
         }

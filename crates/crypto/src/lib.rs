@@ -9,6 +9,7 @@
 //! simulating the offline correlated randomness with a dealer (DESIGN.md
 //! substitution #2).
 
+#![forbid(unsafe_code)]
 pub mod block_compare;
 pub mod circuit;
 pub mod compare;

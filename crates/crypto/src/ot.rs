@@ -15,7 +15,9 @@ use lumos_common::rng::Xoshiro256pp;
 use crate::meter::CommMeter;
 
 /// Pads held by the OT sender after precomputation: two random messages.
-#[derive(Debug, Clone, Copy)]
+// The pads below carry the OT secrets; none derive `Debug` (lumos-lint
+// `secret-leak`) so a pad can never be formatted into a log in the clear.
+#[derive(Clone, Copy)]
 pub struct SenderPad {
     r0: u64,
     r1: u64,
@@ -23,7 +25,7 @@ pub struct SenderPad {
 
 /// Pads held by the OT receiver after precomputation: a random choice bit
 /// and the pad at that position.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct ReceiverPad {
     c: bool,
     rc: u64,
@@ -33,7 +35,7 @@ pub struct ReceiverPad {
 /// one word, and the per-bit selected pad bits. Lane `j` of a wide OT is a
 /// complete 1-out-of-2 bit-OT; the bit-sliced comparison engine uses one
 /// wide OT where the scalar circuit would use 64 scalar OTs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct ReceiverWidePad {
     c: u64,
     rc: u64,

@@ -33,7 +33,9 @@ pub const LANES: usize = 64;
 
 /// 64 XOR-shared secret bits, one comparison lane per bit position: lane
 /// `j`'s value is bit `j` of `share_a ^ share_b`.
-#[derive(Debug, Clone, Copy)]
+// No `Debug`: a formatted share word leaks 64 lanes at once (lumos-lint
+// `secret-leak`); reveal goes through the session, as in the scalar circuit.
+#[derive(Clone, Copy)]
 pub struct SharedWord {
     share_a: u64,
     share_b: u64,
@@ -444,7 +446,7 @@ mod tests {
         // session distinct.
         const K: u64 = 0x9E37_79B9_7F4A_7C15;
         let oracle_seed = 42u64;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in 1..=64u64 {
             let batch_seed = oracle_seed ^ c.wrapping_mul(K);
             for w in 0..64usize {

@@ -4,6 +4,7 @@
 //! datasets, substituted per DESIGN.md §4) and the node/edge splits of
 //! §VIII-B.
 
+#![forbid(unsafe_code)]
 pub mod dataset;
 pub mod splits;
 

@@ -132,7 +132,9 @@ pub fn sample_non_edges(g: &Graph, k: usize, rng: &mut Xoshiro256pp) -> Vec<(u32
     let n = g.num_nodes() as u32;
     assert!(n >= 2, "need at least two vertices to sample non-edges");
     let mut out = Vec::with_capacity(k);
-    let mut seen = std::collections::HashSet::with_capacity(k);
+    // Membership-only; BTreeSet per the determinism contract (no HashSet in
+    // non-test code — iteration order must never be able to matter).
+    let mut seen = std::collections::BTreeSet::new();
     let mut guard = 0usize;
     let max_guard = 100 * k.max(1) + 1000;
     while out.len() < k && guard < max_guard {
@@ -211,7 +213,7 @@ mod tests {
         let mut r = rng();
         let g = erdos_renyi(60, 0.05, &mut r);
         let negs = sample_non_edges(&g, 200, &mut r);
-        let set: std::collections::HashSet<_> = negs.iter().collect();
+        let set: std::collections::BTreeSet<_> = negs.iter().collect();
         assert_eq!(set.len(), negs.len());
     }
 }

@@ -16,6 +16,7 @@
 //! identities — and the deadline aggregation policy can drop late updates
 //! from the barrier ([`Runtime::end_epoch_dropping`]).
 
+#![forbid(unsafe_code)]
 pub mod clock;
 pub mod network;
 pub mod runtime;

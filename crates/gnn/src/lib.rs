@@ -9,6 +9,7 @@
 //! edge-index, so they run unchanged on the global graph (baselines) and on
 //! Lumos's batched virtual-node trees.
 
+#![forbid(unsafe_code)]
 pub mod adj;
 pub mod decoder;
 pub mod encoder;

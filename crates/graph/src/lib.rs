@@ -5,6 +5,7 @@
 //! (§IV-A of the paper), and random generators with the heavy-tailed degree
 //! distributions that create the workload-imbalance problem Lumos solves.
 
+#![forbid(unsafe_code)]
 pub mod ego;
 pub mod generate;
 pub mod graph;

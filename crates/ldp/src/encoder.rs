@@ -21,6 +21,7 @@ use lumos_common::rng::Xoshiro256pp;
 use crate::onebit::{EncodedValue, OneBitMechanism};
 
 /// A partial encoded feature as sent to one neighbor.
+// lumos-lint: allow(secret-leak) — the binned message is already ε-LDP-privatized wire payload; only raw features are secret
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncodedFeature {
     /// Per-dimension symbols; `Missing` outside this message's bin.

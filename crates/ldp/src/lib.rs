@@ -6,6 +6,7 @@
 //! §VIII-C (multi-bit for LPGNN, Gaussian + randomized response for naive
 //! FedGNN).
 
+#![forbid(unsafe_code)]
 pub mod baseline_mechanisms;
 pub mod encoder;
 pub mod onebit;

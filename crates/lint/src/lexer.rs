@@ -1,0 +1,570 @@
+//! A minimal Rust lexer for rule scanning: not a parser, but enough token
+//! discipline that rules never match inside comments, string/char literals,
+//! or test-only code.
+//!
+//! [`lex`] produces a *scrubbed* copy of the source with the same byte
+//! layout (every line keeps its line number) in which
+//!
+//! * line comments, block comments (nested), string literals (plain, raw,
+//!   byte, byte-raw) and char literals are blanked to spaces, and
+//! * `#[cfg(test)]` items and `mod tests { … }` blocks are blanked wholesale,
+//!
+//! so a rule that greps the scrubbed text sees only live, non-test code.
+//! Waiver comments (`// lumos-lint: allow(<rule>) — <reason>`) are parsed
+//! out of the comment stream before it is blanked.
+
+/// A parsed waiver annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule ids the waiver suppresses.
+    pub rules: Vec<String>,
+    /// Mandatory justification (non-empty by construction).
+    pub reason: String,
+    /// True when the line holds nothing but the comment, in which case the
+    /// waiver applies to the *next* line instead of its own.
+    pub comment_only: bool,
+}
+
+/// A comment that mentions `lumos-lint` but does not parse as a waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Malformed {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Lexing result: scrubbed source plus the waiver annotations found.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Same length/line structure as the input; non-code blanked to spaces.
+    pub scrubbed: String,
+    pub waivers: Vec<Waiver>,
+    pub malformed: Vec<Malformed>,
+}
+
+/// Lexes one source file. Never fails: unterminated constructs blank to the
+/// end of input, which is the conservative direction (no false matches).
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = chars.clone();
+    let mut comments: Vec<(usize, String)> = Vec::new();
+
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Doc comments are rendered prose (they may *describe* the
+                // waiver syntax); only plain `//` comments carry waivers.
+                if !text.starts_with("///") && !text.starts_with("//!") {
+                    comments.push((line, text));
+                }
+                blank(&mut out, start, i);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            '"' => {
+                let end = scan_string(&chars, i, &mut line);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            '\'' => {
+                // Char literal or lifetime. A literal is `'\…'` or `'x'`;
+                // anything else (`'a`, `'static`) is a lifetime and stays.
+                if chars.get(i + 1) == Some(&'\\') {
+                    let end = scan_char(&chars, i);
+                    blank(&mut out, i, end);
+                    i = end;
+                } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                    blank(&mut out, i, i + 3);
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            'r' | 'b' if !prev_is_ident(&chars, i) => {
+                // Possible raw/byte literal prefix: r", r#…", b", br", b'.
+                let (is_match, end) = scan_prefixed_literal(&chars, i, &mut line);
+                if is_match {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let mut scrubbed: String = out.into_iter().collect();
+    mask_test_regions(&mut scrubbed);
+
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    let scrubbed_lines: Vec<&str> = scrubbed.split('\n').collect();
+    for (ln, text) in comments {
+        match parse_waiver(&text) {
+            None => {}
+            Some(Err(message)) => malformed.push(Malformed { line: ln, message }),
+            Some(Ok((rules, reason))) => {
+                let comment_only = scrubbed_lines
+                    .get(ln - 1)
+                    .is_none_or(|l| l.trim().is_empty());
+                waivers.push(Waiver {
+                    line: ln,
+                    rules,
+                    reason,
+                    comment_only,
+                });
+            }
+        }
+    }
+
+    LexedFile {
+        scrubbed,
+        waivers,
+        malformed,
+    }
+}
+
+/// Blanks `[start, end)` to spaces, preserving newlines.
+fn blank(out: &mut [char], start: usize, end: usize) {
+    let end = end.min(out.len());
+    for c in out.iter_mut().take(end).skip(start) {
+        if *c != '\n' {
+            *c = ' ';
+        }
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Scans a plain string literal starting at the opening quote; returns the
+/// index one past the closing quote.
+fn scan_string(chars: &[char], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Scans a char literal starting at the opening quote (escape form).
+fn scan_char(chars: &[char], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Recognizes `r"…"`, `r#"…"#…`, `b"…"`, `br#"…"#`, `b'…'` at `start`.
+fn scan_prefixed_literal(chars: &[char], start: usize, line: &mut usize) -> (bool, usize) {
+    let mut i = start;
+    let mut raw = false;
+    if chars[i] == 'b' {
+        i += 1;
+        if chars.get(i) == Some(&'r') {
+            raw = true;
+            i += 1;
+        }
+    } else {
+        // chars[start] == 'r'
+        raw = true;
+        i += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if chars.get(i) != Some(&'"') {
+            return (false, start);
+        }
+        i += 1;
+        // Scan to `"` followed by `hashes` hashes; no escapes in raw strings.
+        while i < chars.len() {
+            if chars[i] == '"'
+                && chars[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return (true, i + 1 + hashes);
+            }
+            if chars[i] == '\n' {
+                *line += 1;
+            }
+            i += 1;
+        }
+        (true, i)
+    } else if chars.get(i) == Some(&'"') {
+        (true, scan_string(chars, i, line))
+    } else if chars.get(i) == Some(&'\'') {
+        (true, scan_char(chars, i))
+    } else {
+        (false, start)
+    }
+}
+
+/// Blanks `#[cfg(test)]` items and `mod tests { … }` blocks in a scrubbed
+/// source (comments/literals already spaces, so brace matching is exact).
+fn mask_test_regions(scrubbed: &mut String) {
+    let mut chars: Vec<char> = scrubbed.chars().collect();
+    loop {
+        let region = find_cfg_test_item(&chars).or_else(|| find_mod_tests(&chars));
+        match region {
+            Some((start, end)) => blank(&mut chars, start, end),
+            None => break,
+        }
+    }
+    *scrubbed = chars.into_iter().collect();
+}
+
+/// Finds the first unmasked `#[cfg(test)]` attribute and returns the span of
+/// the attribute plus the item it gates.
+fn find_cfg_test_item(chars: &[char]) -> Option<(usize, usize)> {
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut i = 0;
+    while i + needle.len() <= chars.len() {
+        if chars[i..i + needle.len()] == needle[..] {
+            let end = item_end(chars, i + needle.len());
+            return Some((i, end));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the first unmasked `mod tests { … }` block (belt-and-braces for
+/// test modules missing the cfg attribute).
+fn find_mod_tests(chars: &[char]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < chars.len() {
+        if ident_at(chars, i, "mod") {
+            let mut j = i + 3;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if ident_at(chars, j, "tests") {
+                let end = item_end(chars, j + 5);
+                return Some((i, end));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// True when `needle` occurs at `i` with identifier boundaries on both sides.
+fn ident_at(chars: &[char], i: usize, needle: &str) -> bool {
+    let n: Vec<char> = needle.chars().collect();
+    if i + n.len() > chars.len() || chars[i..i + n.len()] != n[..] {
+        return false;
+    }
+    let left_ok = i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+    let right = i + n.len();
+    let right_ok = right >= chars.len() || !(chars[right].is_alphanumeric() || chars[right] == '_');
+    left_ok && right_ok
+}
+
+/// From just past an attribute/ident, skips further attributes and returns
+/// the index one past the gated item: through the matching `}` of its first
+/// top-level brace, or past the terminating `;` for braceless items.
+fn item_end(chars: &[char], mut i: usize) -> usize {
+    loop {
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        // Skip stacked attributes (`#[derive(..)]`, doc attrs, …).
+        if i < chars.len() && chars[i] == '#' && chars.get(i + 1) == Some(&'[') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                match chars[i] {
+                    '[' => depth += 1,
+                    ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    let mut paren = 0i32;
+    while i < chars.len() {
+        match chars[i] {
+            '(' | '[' => paren += 1,
+            ')' | ']' => paren -= 1,
+            ';' if paren == 0 => return i + 1,
+            '{' if paren == 0 => {
+                let mut depth = 0i32;
+                while i < chars.len() {
+                    match chars[i] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses a waiver out of one line comment. `None`: not a lint comment.
+/// `Some(Err)`: mentions lumos-lint but is malformed (missing reason,
+/// unknown syntax). Rule-id validation happens in the rule engine, which
+/// owns the registry.
+fn parse_waiver(comment: &str) -> Option<Result<(Vec<String>, String), String>> {
+    let marker = "lumos-lint:";
+    let pos = comment.find(marker)?;
+    let rest = comment[pos + marker.len()..].trim_start();
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Some(Err(
+            "expected `lumos-lint: allow(<rule>) — <reason>`".to_string()
+        ));
+    };
+    let Some(close) = inner.find(')') else {
+        return Some(Err("unclosed `allow(`".to_string()));
+    };
+    let rules: Vec<String> = inner[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Some(Err("empty rule list in `allow()`".to_string()));
+    }
+    let tail = inner[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix('\u{2014}') // em dash
+        .or_else(|| tail.strip_prefix("--"))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Some(Err(
+            "waiver reason is mandatory: `… allow(<rule>) — <reason>`".to_string(),
+        ));
+    }
+    Some(Ok((rules, reason.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrub(src: &str) -> String {
+        lex(src).scrubbed
+    }
+
+    #[test]
+    fn line_and_block_comments_blank() {
+        let s = scrub("let x = 1; // HashMap here\n/* HashSet */ let y = 2;");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("HashSet"));
+        assert!(s.contains("let x = 1;"));
+        assert!(s.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_blank_fully() {
+        let s = scrub("a /* outer /* inner HashMap */ still comment */ b");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("still comment"));
+        assert!(s.starts_with('a'));
+        assert!(s.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn string_contents_blank_but_code_stays() {
+        let s = scrub("let m = \"HashMap::new()\"; let n = 1;");
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("let n = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_blank() {
+        let s = scrub("let m = r#\"Instant::now() \"quoted\" \"#; let k = 2;");
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("let k = 2;"));
+        let s2 = scrub("let m = br##\"thread_rng\"##; f();");
+        assert!(!s2.contains("thread_rng"));
+        assert!(s2.contains("f();"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let s = scrub(r#"let m = "a \" HashMap"; g();"#);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("g();"));
+    }
+
+    #[test]
+    fn char_literals_blank_lifetimes_survive() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.contains("'x'"));
+        assert!(!s.contains("\\n"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_structure() {
+        let src = "let a = \"one\ntwo\nthree\";\nlet b = 1;";
+        let s = scrub(src);
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+        assert!(s.lines().nth(3).unwrap().contains("let b = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_blanks() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let m = HashMap::new(); }\n}\nfn tail() {}";
+        let s = scrub(src);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("fn live()"));
+        assert!(s.contains("fn tail()"));
+    }
+
+    #[test]
+    fn cfg_test_single_fn_blanks_only_that_item() {
+        let src = "#[cfg(test)]\nfn helper() { Instant::now(); }\nfn live() { keep(); }";
+        let s = scrub(src);
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("fn live() { keep(); }"));
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes_blanks_item() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T { m: HashMap<u32, u32> }\nfn live() {}";
+        let s = scrub(src);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("fn live()"));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_blanks_to_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let s = scrub(src);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("fn live()"));
+    }
+
+    #[test]
+    fn bare_mod_tests_blanks_without_cfg() {
+        let src = "fn live() {}\nmod tests {\n    fn t() { thread_rng(); }\n}";
+        let s = scrub(src);
+        assert!(!s.contains("thread_rng"));
+        assert!(s.contains("fn live()"));
+    }
+
+    #[test]
+    fn mod_testsuite_is_not_mod_tests() {
+        let src = "mod testsuite {\n    fn t() { marker(); }\n}";
+        assert!(scrub(src).contains("marker();"));
+    }
+
+    #[test]
+    fn waiver_parses_with_em_dash_and_double_hyphen() {
+        let lexed = lex(
+            "let a = 1; // lumos-lint: allow(wallclock-time) — metering only\nlet b = 2; // lumos-lint: allow(lossy-cast) -- bounded\n",
+        );
+        assert_eq!(lexed.waivers.len(), 2);
+        assert_eq!(lexed.waivers[0].rules, vec!["wallclock-time"]);
+        assert_eq!(lexed.waivers[0].reason, "metering only");
+        assert!(!lexed.waivers[0].comment_only);
+        assert_eq!(lexed.waivers[1].reason, "bounded");
+        assert!(lexed.malformed.is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_is_comment_only() {
+        let lexed = lex("// lumos-lint: allow(secret-leak) — test fixture\nprintln!(\"x\");\n");
+        assert_eq!(lexed.waivers.len(), 1);
+        assert!(lexed.waivers[0].comment_only);
+        assert_eq!(lexed.waivers[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        let lexed = lex("let a = 1; // lumos-lint: allow(wallclock-time)\n");
+        assert!(lexed.waivers.is_empty());
+        assert_eq!(lexed.malformed.len(), 1);
+        assert!(lexed.malformed[0].message.contains("mandatory"));
+    }
+
+    #[test]
+    fn waiver_with_multiple_rules_splits() {
+        let lexed =
+            lex("x(); // lumos-lint: allow(wallclock-time, lossy-cast) — bench meter path\n");
+        assert_eq!(lexed.waivers[0].rules, vec!["wallclock-time", "lossy-cast"]);
+    }
+
+    #[test]
+    fn unterminated_string_blanks_to_eof() {
+        let s = scrub("let a = \"unterminated HashMap\nmore HashSet");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("HashSet"));
+    }
+}

@@ -1,0 +1,80 @@
+//! CLI entry point: `cargo run -p lumos-lint -- [--format text|json]
+//! [--out PATH] [--root PATH]`. Exits 1 when any unwaived finding remains —
+//! the CI gate and the pre-commit check are the same binary.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lumos_lint::{find_workspace_root, lint_workspace, Config};
+
+fn main() -> ExitCode {
+    let mut format = "text".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => {
+                format = args
+                    .next()
+                    .unwrap_or_else(|| usage("--format needs a value"))
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--out needs a value")),
+                ))
+            }
+            "--root" => {
+                root = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--root needs a value")),
+                ))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if format != "text" && format != "json" {
+        usage(&format!("unknown format `{format}` (text|json)"));
+    }
+
+    let root = root
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            find_workspace_root(&cwd)
+        })
+        .unwrap_or_else(|| usage("no --root given and no workspace root found from cwd"));
+
+    let cfg = Config::for_root(root);
+    let report = lint_workspace(&cfg);
+
+    if format == "json" {
+        let path = out.unwrap_or_else(|| PathBuf::from("LINT_report.json"));
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("lumos-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "lumos-lint: {} files, {} findings ({} waived, {} unwaived) → {}",
+            report.files_scanned,
+            report.findings.len(),
+            report.waived_count(),
+            report.unwaived_count(),
+            path.display()
+        );
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: lumos-lint [--format text|json] [--out PATH] [--root PATH]");
+    std::process::exit(2);
+}

@@ -1,0 +1,192 @@
+//! Findings and the JSON/text reports. The JSON serializer is hand-rolled
+//! (pure std, deterministic field order) so the golden-snapshot test can
+//! compare byte-for-byte.
+
+use crate::rules::RULES;
+
+/// One rule match at one source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: String,
+    /// Root-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The offending source line, trimmed and truncated.
+    pub excerpt: String,
+    pub waived: bool,
+    pub reason: Option<String>,
+}
+
+impl Finding {
+    pub fn new(rule: &str, file: &str, line: usize, excerpt: &str) -> Self {
+        let mut e: String = excerpt.trim().chars().take(120).collect();
+        if excerpt.trim().chars().count() > 120 {
+            e.push('…');
+        }
+        Self {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            excerpt: e,
+            waived: false,
+            reason: None,
+        }
+    }
+}
+
+/// The full lint result over a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Sorts deterministically and drops exact duplicates (a line can match
+    /// one rule through two patterns).
+    pub fn finish(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.findings.dedup();
+    }
+
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    pub fn unwaived_count(&self) -> usize {
+        self.findings.len() - self.waived_count()
+    }
+
+    /// Exit status for the CLI and CI gate.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.unwaived_count() > 0)
+    }
+
+    /// Human-readable listing (unwaived first is unnecessary: sorted by
+    /// file/line so output is stable under re-runs).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let status = if f.waived {
+                format!("waived: {}", f.reason.as_deref().unwrap_or(""))
+            } else {
+                "UNWAIVED".to_string()
+            };
+            out.push_str(&format!(
+                "{}:{}: [{}] {} ({})\n",
+                f.file, f.line, f.rule, f.excerpt, status
+            ));
+        }
+        out.push_str(&format!(
+            "lumos-lint: {} files, {} findings ({} waived, {} unwaived)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waived_count(),
+            self.unwaived_count()
+        ));
+        out
+    }
+
+    /// Deterministic JSON document.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"tool\": \"lumos-lint\",\n  \"schema\": 1,\n");
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"summary\": {}}}{}\n",
+                json_str(r.id),
+                json_str(r.summary),
+                if i + 1 < RULES.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"counts\": {{\"files\": {}, \"findings\": {}, \"waived\": {}, \"unwaived\": {}}},\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waived_count(),
+            self.unwaived_count()
+        ));
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"excerpt\": {}, \"waived\": {}, \"reason\": {}}}{}\n",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.excerpt),
+                f.waived,
+                f.reason.as_deref().map_or("null".to_string(), json_str),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_exit_code() {
+        let mut r = Report::default();
+        r.findings
+            .push(Finding::new("wallclock-time", "b.rs", 2, "x"));
+        r.findings.push({
+            let mut f = Finding::new("lossy-cast", "a.rs", 1, "y");
+            f.waived = true;
+            f.reason = Some("bounded".into());
+            f
+        });
+        r.finish();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.waived_count(), 1);
+        assert_eq!(r.unwaived_count(), 1);
+        assert_eq!(r.exit_code(), 1);
+        r.findings.retain(|f| f.waived);
+        assert_eq!(r.exit_code(), 0);
+    }
+
+    #[test]
+    fn json_escapes_and_is_parseable_shape() {
+        let mut r = Report::default();
+        r.findings
+            .push(Finding::new("secret-leak", "a.rs", 1, "say \"hi\"\\"));
+        let j = r.render_json();
+        assert!(j.contains(r#""say \"hi\"\\""#));
+        assert!(j.contains("\"unwaived\": 1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn long_excerpts_truncate() {
+        let long = "x".repeat(300);
+        let f = Finding::new("lossy-cast", "a.rs", 1, &long);
+        assert!(f.excerpt.chars().count() <= 121);
+        assert!(f.excerpt.ends_with('…'));
+    }
+}

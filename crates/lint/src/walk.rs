@@ -1,0 +1,47 @@
+//! Deterministic workspace file discovery: every `.rs` file under the root
+//! except vendored stubs, build output, VCS metadata, and the lint fixture
+//! corpus (which exists to contain findings).
+
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+const SKIP_PREFIXES: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// Returns root-relative paths (forward slashes), sorted.
+pub fn rust_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    visit(root, Path::new(""), &mut out);
+    out.sort();
+    out
+}
+
+fn visit(root: &Path, rel: &Path, out: &mut Vec<String>) {
+    let dir = root.join(rel);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let child = rel.join(name);
+        let child_str = slashed(&child);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || SKIP_PREFIXES.iter().any(|p| child_str == *p) {
+                continue;
+            }
+            visit(root, &child, out);
+        } else if name.ends_with(".rs") {
+            out.push(child_str);
+        }
+    }
+}
+
+fn slashed(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

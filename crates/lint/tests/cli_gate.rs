@@ -1,0 +1,58 @@
+//! The gate bites: drives the compiled `lumos-lint` binary exactly as CI
+//! does and asserts the exit codes — 1 for a workspace with a bare
+//! `HashMap`, 0 for a clean one — plus the JSON artifact on disk.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn dirty_fixture_exits_one_and_writes_the_json_artifact() {
+    let out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fixture_lint.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_lumos-lint"))
+        .arg("--root")
+        .arg(fixtures().join("ws"))
+        .arg("--format")
+        .arg("json")
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("lumos-lint binary runs");
+    assert_eq!(status.code(), Some(1), "unwaived findings must exit 1");
+
+    let json = std::fs::read_to_string(&out).expect("JSON artifact written");
+    assert!(json.contains("\"tool\": \"lumos-lint\""));
+    assert!(json.contains("\"rule\": \"nondeterministic-collection\""));
+    assert!(json.contains("\"unwaived\": 10"));
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("clean_lint.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_lumos-lint"))
+        .arg("--root")
+        .arg(fixtures().join("clean_ws"))
+        .arg("--format")
+        .arg("json")
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("lumos-lint binary runs");
+    assert_eq!(status.code(), Some(0), "a clean workspace must exit 0");
+    let json = std::fs::read_to_string(&out).expect("JSON artifact written");
+    assert!(json.contains("\"unwaived\": 0"));
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let status = Command::new(env!("CARGO_BIN_EXE_lumos-lint"))
+        .arg("--frobnicate")
+        .status()
+        .expect("lumos-lint binary runs");
+    assert_eq!(status.code(), Some(2));
+}

@@ -1,0 +1,114 @@
+//! End-to-end corpus test: lints the fixture workspaces under
+//! `tests/fixtures/` with the real default config and pins the result —
+//! per-rule firing + suppression, and a byte-for-byte golden JSON snapshot.
+//!
+//! To regenerate the golden after an intentional rule change:
+//! `cargo run -p lumos-lint -- --root crates/lint/tests/fixtures/ws \
+//!    --format json --out crates/lint/tests/fixtures/golden_report.json`
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use lumos_lint::{lint_workspace, Config, Report};
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(name: &str) -> Report {
+    lint_workspace(&Config::for_root(fixtures().join(name)))
+}
+
+/// Count findings for `rule`, split (unwaived, waived).
+fn split(report: &Report, rule: &str) -> (usize, usize) {
+    let hits = report.findings.iter().filter(|f| f.rule == rule);
+    hits.fold(
+        (0, 0),
+        |(u, w), f| {
+            if f.waived {
+                (u, w + 1)
+            } else {
+                (u + 1, w)
+            }
+        },
+    )
+}
+
+#[test]
+fn every_rule_fires_and_every_waivable_rule_suppresses() {
+    let report = lint_fixture("ws");
+    assert_eq!(report.files_scanned, 10);
+
+    // (rule, unwaived, waived) — one firing and one suppressed instance per
+    // waivable rule; malformed-waiver is unwaivable by design.
+    let expected = [
+        ("nondeterministic-collection", 1, 1),
+        ("wallclock-time", 2, 1), // the missing-reason waiver does not suppress
+        ("unseeded-rng", 1, 1),
+        ("secret-leak", 2, 1),
+        ("unordered-scope-join", 1, 0),
+        ("lossy-cast", 1, 1),
+        ("malformed-waiver", 2, 0),
+    ];
+    for (rule, unwaived, waived) in expected {
+        assert_eq!(
+            split(&report, rule),
+            (unwaived, waived),
+            "rule {rule} has the wrong firing/suppression split"
+        );
+    }
+    assert_eq!(report.unwaived_count(), 10);
+    assert_eq!(report.waived_count(), 5);
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn test_scope_and_allowlisted_fixtures_stay_silent() {
+    let report = lint_fixture("ws");
+    for silent in [
+        "crates/app/tests/integration.rs", // tests/ path component
+        "crates/app/src/tested.rs",        // #[cfg(test)] region masked
+        "crates/crypto/src/slice.rs",      // audited thread::scope allowlist
+    ] {
+        assert!(
+            report.findings.iter().all(|f| f.file != silent),
+            "{silent} must produce no findings"
+        );
+    }
+}
+
+#[test]
+fn every_waived_finding_carries_a_nonempty_reason() {
+    let report = lint_fixture("ws");
+    for f in report.findings.iter().filter(|f| f.waived) {
+        let reason = f.reason.as_deref().unwrap_or("");
+        assert!(
+            !reason.trim().is_empty(),
+            "waived finding at {}:{} has no reason",
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn golden_json_snapshot_is_byte_identical() {
+    let report = lint_fixture("ws");
+    let golden = std::fs::read_to_string(fixtures().join("golden_report.json"))
+        .expect("golden_report.json missing — regenerate per the module docs");
+    assert_eq!(
+        report.render_json(),
+        golden,
+        "lint output diverged from the golden snapshot; if the change is \
+         intentional, regenerate per the module docs"
+    );
+}
+
+#[test]
+fn clean_fixture_workspace_has_no_findings() {
+    let report = lint_fixture("clean_ws");
+    assert_eq!(report.files_scanned, 1);
+    assert!(report.findings.is_empty());
+    assert_eq!(report.exit_code(), 0);
+}

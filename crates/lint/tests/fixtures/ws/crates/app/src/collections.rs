@@ -1,0 +1,15 @@
+//! Fixture: `nondeterministic-collection` — one firing site, one waived.
+
+pub fn order_breaker(keys: &[u32]) -> usize {
+    let mut m = std::collections::HashMap::new();
+    for &k in keys {
+        m.insert(k, ());
+    }
+    m.len()
+}
+
+pub fn membership_only(keys: &[u32]) -> bool {
+    // lumos-lint: allow(nondeterministic-collection) — membership-only probe set, never iterated
+    let s: std::collections::HashSet<u32> = keys.iter().copied().collect();
+    s.contains(&0)
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unordered-scope-join` — `thread::scope` outside the audited
+//! allowlist.
+
+pub fn fan_out(xs: &mut [u64]) {
+    std::thread::scope(|s| {
+        for x in xs.iter_mut() {
+            s.spawn(move || *x += 1);
+        }
+    });
+}

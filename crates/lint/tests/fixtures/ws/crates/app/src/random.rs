@@ -1,0 +1,12 @@
+//! Fixture: `unseeded-rng` — one firing site, one waived. The calls are
+//! free-standing on purpose: fixtures are linted, never compiled.
+
+pub fn ambient_draw() -> u64 {
+    let mut r = thread_rng();
+    r.next_u64()
+}
+
+pub fn reseed() -> u64 {
+    // lumos-lint: allow(unseeded-rng) — fixture stand-in for an audited one-time reseed path
+    from_entropy()
+}

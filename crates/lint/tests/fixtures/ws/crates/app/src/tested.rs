@@ -1,0 +1,18 @@
+//! Fixture: a `#[cfg(test)]` region inside live code — the lexer masks it,
+//! so the `HashSet` below must not fire.
+
+pub fn live() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn probe() {
+        let mut s = HashSet::new();
+        s.insert(super::live());
+        assert!(s.contains(&7));
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: `wallclock-time` — one firing site, one waived.
+
+pub fn naive_elapsed(t0: std::time::Instant) -> std::time::Duration {
+    let now = std::time::Instant::now();
+    now - t0
+}
+
+pub fn metered_elapsed() -> std::time::Duration {
+    let t = std::time::Instant::now(); // lumos-lint: allow(wallclock-time) — fixture metering shim, reported not consumed
+    t.elapsed()
+}

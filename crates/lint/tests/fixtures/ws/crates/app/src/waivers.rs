@@ -1,0 +1,12 @@
+//! Fixture: `malformed-waiver` — a waiver without the mandatory reason and
+//! a waiver naming an unknown rule. Neither suppresses anything.
+
+pub fn missing_reason() -> u128 {
+    let t = std::time::Instant::now(); // lumos-lint: allow(wallclock-time)
+    t.elapsed().as_micros()
+}
+
+pub fn unknown_rule() {
+    // lumos-lint: allow(no-such-rule) — the rule name is wrong on purpose
+    let _ = 1;
+}

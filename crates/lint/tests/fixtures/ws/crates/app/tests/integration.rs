@@ -1,0 +1,10 @@
+//! Fixture: a `tests/` path — contract rules do not apply in test scope.
+
+use std::collections::HashMap;
+
+#[test]
+fn order_free_assertion() {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    assert_eq!(m.get(&1), Some(&2));
+}

@@ -1,0 +1,15 @@
+//! Fixture: `lossy-cast` — a narrowing cast and a waived float→int encode
+//! in a fixed-point cost module; widening casts must stay silent.
+
+pub fn truncating_id(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn encode_us(secs: f64) -> u64 {
+    // lumos-lint: allow(lossy-cast) — fixture mirror of the audited fixed-point µs encode
+    (secs * 1e6).round() as u64
+}
+
+pub fn widening_ok(n: u32) -> u64 {
+    n as u64
+}

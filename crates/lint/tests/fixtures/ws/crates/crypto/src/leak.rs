@@ -1,0 +1,23 @@
+//! Fixture: `secret-leak` — a print macro and a `Debug` derive on a
+//! share-bearing type inside a secret crate, plus a waived LDP symbol and a
+//! non-share type that must stay silent.
+
+pub fn reveal(word: u64) {
+    println!("share = {word}");
+}
+
+#[derive(Debug, Clone)]
+pub struct WordShare {
+    pub lo: u64,
+}
+
+// lumos-lint: allow(secret-leak) — fixture mirror of the ε-LDP EncodedValue waiver: post-randomization symbol
+#[derive(Debug, Clone)]
+pub struct EncodedSymbol {
+    pub bit: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct PlainMeter {
+    pub us: u64,
+}

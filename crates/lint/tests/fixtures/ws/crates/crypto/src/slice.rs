@@ -1,0 +1,10 @@
+//! Fixture: `thread::scope` on the audited-allowlist path
+//! (`crates/crypto/src/slice.rs` in the default config) — no finding.
+
+pub fn audited_join(xs: &mut [u64]) {
+    std::thread::scope(|s| {
+        for x in xs.iter_mut() {
+            s.spawn(move || *x ^= 1);
+        }
+    });
+}

@@ -1,0 +1,47 @@
+//! The contract gate as a workspace test: linting the real repository must
+//! produce zero unwaived findings, and every waiver must carry its reason.
+//! This is the same check the CLI and the CI `lint` job run.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use lumos_lint::{lint_workspace, Config};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn real_workspace_has_zero_unwaived_findings() {
+    let report = lint_workspace(&Config::for_root(workspace_root()));
+    // Sanity: the walker actually saw the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — walker is misrooted",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "unwaived contract violations:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn every_workspace_waiver_has_a_reason() {
+    let report = lint_workspace(&Config::for_root(workspace_root()));
+    for f in report.findings.iter().filter(|f| f.waived) {
+        let reason = f.reason.as_deref().unwrap_or("");
+        assert!(
+            !reason.trim().is_empty(),
+            "waiver without reason at {}:{}",
+            f.file,
+            f.line
+        );
+    }
+}

@@ -32,6 +32,7 @@
 //! bit-identical makespans and straggler sequences (asserted by
 //! `tests/determinism.rs` at the workspace root).
 
+#![forbid(unsafe_code)]
 pub mod epoch;
 pub mod policy;
 pub mod profile;

@@ -69,6 +69,7 @@ impl DeviceProfile {
         let secs = self.compute_secs(layers as f64)
             + self.upload_secs(embedding_bytes)
             + self.download_secs(embedding_bytes);
+        // lumos-lint: allow(lossy-cast) — deliberate fixed-point encode: f64→u64 `as` saturates (never wraps), inputs are finite positive seconds, and .max(1) pins the floor
         ((secs * 1e6).round() as u64).max(1)
     }
 

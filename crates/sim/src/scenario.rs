@@ -254,7 +254,7 @@ mod tests {
                 })
                 .collect()
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..8u64 {
             let a = survivors(seed, 12);
             let b = survivors(seed, 12);

@@ -32,6 +32,7 @@
 //! assert!((store.value(w).item() - 2.0).abs() < 1e-2);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod gradcheck;
 pub mod kernels;
 pub mod nn;

@@ -31,6 +31,7 @@
 //! Everything here is pure data + arithmetic over `lumos-sim` types, so
 //! `fed` and `core` can both depend on it without cycles.
 
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod policy;
 pub mod pooling;

@@ -1,4 +1,7 @@
 //! Facade crate re-exporting the Lumos public API.
+
+#![forbid(unsafe_code)]
+
 pub use lumos_balance as balance;
 pub use lumos_baselines as baselines;
 pub use lumos_common as common;

@@ -89,6 +89,7 @@ impl Criterion {
         // Warm-up: run until the warm-up budget elapses, and use the
         // observed per-iteration time to size the measurement batches.
         let mut bencher = Bencher::new();
+        #[allow(clippy::disallowed_methods)] // benchmark harness: timing is the point
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
         while warm_start.elapsed() < self.warm_up_time {
@@ -157,6 +158,7 @@ impl Bencher {
         R: FnMut() -> O,
     {
         let n = self.target_iters;
+        #[allow(clippy::disallowed_methods)] // benchmark harness: timing is the point
         let start = Instant::now();
         for _ in 0..n {
             std::hint::black_box(routine());
