@@ -16,6 +16,7 @@ fn smoke_args() -> HarnessArgs {
         seed: 1,
         quick: true,
         json: None,
+        sensitivity: false,
     }
 }
 

@@ -14,6 +14,9 @@ pub struct HarnessArgs {
     /// Where to write the machine-readable result record, for binaries
     /// that emit one (`fig8_hetero` → `BENCH_fig8.json` by default).
     pub json: Option<String>,
+    /// Also run the buffered-policy sensitivity grid (`fig8_hetero`:
+    /// decay × re-balance trigger, accuracy × makespan per cell).
+    pub sensitivity: bool,
 }
 
 impl Default for HarnessArgs {
@@ -23,6 +26,7 @@ impl Default for HarnessArgs {
             seed: 2023,
             quick: false,
             json: None,
+            sensitivity: false,
         }
     }
 }
@@ -52,6 +56,7 @@ impl HarnessArgs {
                         .unwrap_or_else(|_| usage(&format!("bad seed '{v}'")));
                 }
                 "--quick" => out.quick = true,
+                "--sensitivity" => out.sensitivity = true,
                 "--json" => {
                     let v = it.next().unwrap_or_else(|| usage("--json needs a path"));
                     if v.starts_with("--") {
@@ -71,7 +76,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--scale smoke|small|paper] [--seed N] [--quick] [--json PATH]");
+    eprintln!(
+        "usage: <experiment> [--scale smoke|small|paper] [--seed N] [--quick] [--json PATH] \
+         [--sensitivity]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -85,9 +93,17 @@ mod tests {
         assert_eq!(d.scale, Scale::Small);
         assert!(!d.quick);
         assert_eq!(d.json, None);
+        assert!(!d.sensitivity);
         let p = HarnessArgs::parse_from(
             [
-                "--scale", "smoke", "--seed", "7", "--quick", "--json", "out.json",
+                "--scale",
+                "smoke",
+                "--seed",
+                "7",
+                "--quick",
+                "--json",
+                "out.json",
+                "--sensitivity",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -96,5 +112,6 @@ mod tests {
         assert_eq!(p.seed, 7);
         assert!(p.quick);
         assert_eq!(p.json.as_deref(), Some("out.json"));
+        assert!(p.sensitivity);
     }
 }

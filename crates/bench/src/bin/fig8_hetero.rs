@@ -1,6 +1,8 @@
 //! Scenario sweep: simulated epoch makespan across heterogeneous-device
 //! fleets — trimmed under both balance objectives (tree nodes vs virtual
-//! seconds) and untrimmed (Figure 8 extension). Also writes the
+//! seconds), under the deadline / buffered / async aggregation policies,
+//! and untrimmed (Figure 8 extension). `--sensitivity` adds the buffered
+//! policy's decay × re-balance-trigger grid. Also writes the
 //! machine-readable `BENCH_fig8.json` record (`--json PATH` to relocate).
 use lumos_bench::{hetero, HarnessArgs};
 
@@ -8,11 +10,19 @@ fn main() {
     let args = HarnessArgs::parse();
     let rows = hetero::run(&args);
     hetero::table(&rows).print();
+    let sensitivity = if args.sensitivity {
+        let grid = hetero::run_sensitivity(&args);
+        println!();
+        hetero::sensitivity_table(&grid).print();
+        grid
+    } else {
+        Vec::new()
+    };
     let path = args
         .json
         .clone()
         .unwrap_or_else(|| "BENCH_fig8.json".into());
-    let json = hetero::to_json(&rows, &args);
+    let json = hetero::to_json(&rows, &sensitivity, &args);
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nwrote {path}");
 }

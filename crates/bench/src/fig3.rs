@@ -131,6 +131,7 @@ mod tests {
             seed: 5,
             quick: false,
             json: None,
+            sensitivity: false,
         };
         let rows = run(&args);
         assert_eq!(rows.len(), 4);

@@ -99,6 +99,7 @@ mod tests {
             seed: 3,
             quick: false,
             json: None,
+            sensitivity: false,
         };
         let ds = lumos_data::Dataset::lastfm_like(Scale::Smoke);
         let rows = eval_dataset(&ds, &args);

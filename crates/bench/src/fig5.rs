@@ -94,6 +94,7 @@ mod tests {
             seed: 1,
             quick: false,
             json: None,
+            sensitivity: false,
         };
         let ds = lumos_data::Dataset::facebook_like(Scale::Smoke);
         let series = eval_dataset(&ds, &args);

@@ -102,6 +102,7 @@ mod tests {
             seed: 2,
             quick: false,
             json: None,
+            sensitivity: false,
         };
         let ds = lumos_data::Dataset::facebook_like(Scale::Smoke);
         let rows = eval_dataset(&ds, &args);

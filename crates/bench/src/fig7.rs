@@ -98,6 +98,7 @@ mod tests {
             seed: 4,
             quick: false,
             json: None,
+            sensitivity: false,
         };
         let results = run(&args);
         assert_eq!(results.len(), 2);

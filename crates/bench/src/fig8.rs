@@ -124,6 +124,7 @@ mod tests {
             seed: 8,
             quick: false,
             json: None,
+            sensitivity: false,
         };
         let ds = lumos_data::Dataset::facebook_like(Scale::Smoke);
         let rows = eval_dataset(&ds, &args);

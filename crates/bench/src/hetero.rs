@@ -2,22 +2,33 @@
 //!
 //! The paper evaluates tree trimming on identical devices (Fig. 8). This
 //! sweep replays the same workload through `lumos-sim` under each
-//! [`Scenario`] preset and reports the simulated epoch makespan five ways:
+//! [`Scenario`] preset and reports the simulated epoch makespan six ways:
 //! trimmed under the paper's node-count objective, trimmed under the
 //! capability-weighted [`BalanceObjective::VirtualSecs`] objective,
 //! trimmed under the semi-synchronous deadline aggregation policy
 //! ([`AggregationPolicy::Deadline`] at [`DEADLINE_FACTOR`]), trimmed under
 //! the buffered policy ([`AggregationPolicy::Buffered`] at the same factor
-//! and [`BUFFERED_DECAY`]), and untrimmed. Five claims become measurable:
-//! the makespan ordering `Uniform < StragglerTail` for the same workload,
-//! the growth of trimming's win as capability heterogeneity compounds the
+//! and [`BUFFERED_DECAY`]), trimmed under the barrier-free async quorum
+//! ([`AggregationPolicy::Async`] at [`ASYNC_QUORUM_NUM`]⁄[`ASYNC_QUORUM_DEN`]
+//! of the fleet), and untrimmed. Six claims become measurable: the
+//! makespan ordering `Uniform < StragglerTail` for the same workload, the
+//! growth of trimming's win as capability heterogeneity compounds the
 //! degree heterogeneity the trimmer targets, the additional win of
 //! balancing virtual seconds instead of tree nodes once devices stop being
 //! equals, the barrier time the deadline buys back by dropping late
-//! updates (`late_drops` counts what that costs in participation), and
-//! that buffering keeps that barrier win while wasting nothing
+//! updates (`late_drops` counts what that costs in participation), that
+//! buffering keeps that barrier win while wasting nothing
 //! (`buffered_updates` banked, `wasted_updates` zero, `migrated_nodes`
-//! moved off overloaded devices).
+//! moved off overloaded devices), and that abolishing the barrier outright
+//! keeps the makespan win with *zero* drops and *zero* waste — the quorum
+//! closes each round at the `min_updates`-th landing and carries the
+//! overflow forward at full weight.
+//!
+//! [`run_sensitivity`] adds the buffered policy's decay × re-balance-
+//! trigger sensitivity grid ([`SensitivityRow`]): how accuracy and
+//! makespan move as the staleness discount and the migration trigger
+//! sweep a small grid under the straggler-tail (and, at full scale,
+//! churn) fleets.
 //!
 //! [`to_json`] renders the sweep as the machine-readable `BENCH_fig8.json`
 //! record the perf-trajectory tooling consumes.
@@ -41,6 +52,18 @@ pub const DEADLINE_FACTOR: f64 = 2.0;
 /// update blends into its arrival round at `0.5^staleness`.
 pub const BUFFERED_DECAY: f64 = 0.5;
 
+/// Async quorum fraction, as a ratio: the async column closes each round
+/// once `⌈n × ASYNC_QUORUM_NUM / ASYNC_QUORUM_DEN⌉` updates have landed
+/// (80% of the fleet).
+pub const ASYNC_QUORUM_NUM: usize = 4;
+/// Denominator of the async quorum fraction.
+pub const ASYNC_QUORUM_DEN: usize = 5;
+
+/// The async column's quorum for an `n`-device fleet: ⌈0.8 × n⌉.
+pub fn async_quorum(n_devices: usize) -> usize {
+    (n_devices * ASYNC_QUORUM_NUM).div_ceil(ASYNC_QUORUM_DEN)
+}
+
 /// One scenario's cost comparison (two trimmed objectives and the deadline
 /// policy vs untrimmed).
 #[derive(Debug, Clone)]
@@ -59,6 +82,9 @@ pub struct HeteroRow {
     /// Simulated seconds per epoch, trimmed, node-count objective under
     /// the buffered policy ([`DEADLINE_FACTOR`], [`BUFFERED_DECAY`]).
     pub makespan_buffered: f64,
+    /// Simulated seconds per epoch, trimmed, node-count objective under
+    /// the barrier-free async quorum ([`async_quorum`] of the fleet).
+    pub makespan_async: f64,
     /// Simulated seconds per epoch without tree trimming.
     pub makespan_untrimmed: f64,
     /// Mean device utilization under the node-count objective.
@@ -83,6 +109,15 @@ pub struct HeteroRow {
     /// Tree nodes the buffered run's live re-balancer moved off
     /// overloaded devices.
     pub migrated_nodes: u64,
+    /// Overflow updates the async run carried into a later round (landed
+    /// after the quorum closed; blended at full weight next round).
+    pub async_carried: u64,
+    /// Device-rounds the async run dropped — zero by construction (the
+    /// quorum defers, never discards), asserted by the CI smoke gate.
+    pub async_late_drops: u64,
+    /// Updates the async run discarded forever — likewise zero by
+    /// construction.
+    pub async_wasted: u64,
 }
 
 impl HeteroRow {
@@ -119,6 +154,13 @@ impl HeteroRow {
     /// discarding late work.
     pub fn buffered_win_secs(&self) -> f64 {
         self.makespan_tree_nodes - self.makespan_buffered
+    }
+
+    /// Absolute seconds per epoch the barrier-free async quorum saves over
+    /// the full-sync barrier — bought without dropping or wasting a single
+    /// update.
+    pub fn async_win_secs(&self) -> f64 {
+        self.makespan_tree_nodes - self.makespan_async
     }
 }
 
@@ -164,7 +206,10 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
         factor: DEADLINE_FACTOR,
         decay: BUFFERED_DECAY,
     };
-    let (tree_nodes, (virtual_secs, (deadline, (buffered, untrimmed)))) = run_pair(
+    let async_policy = AggregationPolicy::Async {
+        min_updates: async_quorum(ds.num_nodes()),
+    };
+    let (tree_nodes, (virtual_secs, (deadline, (buffered, (asynced, untrimmed))))) = run_pair(
         || {
             summary(
                 ds,
@@ -208,12 +253,25 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
                                     )
                                 },
                                 || {
-                                    summary(
-                                        ds,
-                                        &base,
-                                        BalanceObjective::TreeNodes,
-                                        false,
-                                        AggregationPolicy::FullSync,
+                                    run_pair(
+                                        || {
+                                            summary(
+                                                ds,
+                                                &base,
+                                                BalanceObjective::TreeNodes,
+                                                true,
+                                                async_policy,
+                                            )
+                                        },
+                                        || {
+                                            summary(
+                                                ds,
+                                                &base,
+                                                BalanceObjective::TreeNodes,
+                                                false,
+                                                AggregationPolicy::FullSync,
+                                            )
+                                        },
                                     )
                                 },
                             )
@@ -230,6 +288,7 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
         makespan_virtual_secs: virtual_secs.avg_epoch_virtual_secs,
         makespan_deadline: deadline.avg_epoch_virtual_secs,
         makespan_buffered: buffered.avg_epoch_virtual_secs,
+        makespan_async: asynced.avg_epoch_virtual_secs,
         makespan_untrimmed: untrimmed.avg_epoch_virtual_secs,
         utilization_tree_nodes: tree_nodes.mean_utilization,
         utilization_virtual_secs: virtual_secs.mean_utilization,
@@ -240,6 +299,9 @@ fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Hetero
         buffered_updates: buffered.buffered_updates,
         wasted_updates: buffered.wasted_updates,
         migrated_nodes: buffered.migrated_nodes,
+        async_carried: asynced.buffered_updates,
+        async_late_drops: asynced.late_drops,
+        async_wasted: asynced.wasted_updates,
     }
 }
 
@@ -259,6 +321,156 @@ pub fn run(args: &HarnessArgs) -> Vec<HeteroRow> {
         .collect()
 }
 
+/// One cell of the buffered-policy sensitivity grid: a `(decay,
+/// re-balance trigger)` setting and the accuracy × makespan it lands at.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Device scenario the cell ran under.
+    pub scenario: Scenario,
+    /// Staleness discount of the buffered policy (`decay^staleness`).
+    pub decay: f64,
+    /// Re-balance trigger threshold (× the fleet-mean per-node price).
+    pub threshold: f64,
+    /// Re-balance trigger patience (consecutive overpriced rounds).
+    pub patience: u32,
+    /// Test accuracy the cell converged to.
+    pub accuracy: f64,
+    /// Simulated seconds per epoch.
+    pub makespan: f64,
+    /// Late updates banked for a later round.
+    pub buffered_updates: u64,
+    /// Tree nodes the live re-balancer migrated.
+    pub migrated_nodes: u64,
+}
+
+/// The sensitivity grid's decay values (quick mode trims the middle).
+fn sensitivity_decays(quick: bool) -> &'static [f64] {
+    if quick {
+        &[0.3, 0.7]
+    } else {
+        &[0.3, 0.5, 0.7]
+    }
+}
+
+/// The sensitivity grid's `(threshold, patience)` re-balance triggers.
+fn sensitivity_triggers(quick: bool) -> &'static [(f64, u32)] {
+    if quick {
+        &[(1.5, 1), (2.0, 2)]
+    } else {
+        &[(1.5, 1), (2.0, 2), (3.0, 4)]
+    }
+}
+
+fn eval_sensitivity_cell(
+    ds: &Dataset,
+    scenario: Scenario,
+    decay: f64,
+    threshold: f64,
+    patience: u32,
+    args: &HarnessArgs,
+) -> SensitivityRow {
+    let cfg = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+        .with_epochs(cost_epochs(args.quick))
+        .with_mcmc_iterations(mcmc_iterations_for(args.scale, &ds.name))
+        .with_seed(args.seed)
+        .with_scenario(scenario)
+        .with_aggregation_policy(AggregationPolicy::Buffered {
+            factor: DEADLINE_FACTOR,
+            decay,
+        })
+        .with_rebalance_trigger(threshold, patience);
+    let report = run_lumos(ds, &cfg);
+    let sim = report
+        .sim
+        .as_ref()
+        .expect("scenario configs always produce a sim summary");
+    SensitivityRow {
+        dataset: ds.name.clone(),
+        scenario,
+        decay,
+        threshold,
+        patience,
+        accuracy: report.test_metric,
+        makespan: sim.avg_epoch_virtual_secs,
+        buffered_updates: sim.buffered_updates,
+        migrated_nodes: sim.migrated_nodes,
+    }
+}
+
+/// Runs the buffered-policy sensitivity grid on the primary dataset:
+/// every `decay × (threshold, patience)` cell under the straggler-tail
+/// fleet (and, at full scale, churn — the fleet where the re-balance
+/// trigger actually fires). Quick mode runs the 2×2 corner grid on the
+/// straggler tail only.
+pub fn run_sensitivity(args: &HarnessArgs) -> Vec<SensitivityRow> {
+    let ds = Dataset::facebook_like(args.scale);
+    let scenarios: &[Scenario] = if args.quick {
+        &[Scenario::StragglerTail]
+    } else {
+        &[Scenario::StragglerTail, Scenario::Churn]
+    };
+    let cells: Vec<(Scenario, f64, f64, u32)> = scenarios
+        .iter()
+        .flat_map(|&s| {
+            sensitivity_decays(args.quick).iter().flat_map(move |&d| {
+                sensitivity_triggers(args.quick)
+                    .iter()
+                    .map(move |&(th, pa)| (s, d, th, pa))
+            })
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(cells.len());
+    for pair in cells.chunks(2) {
+        match *pair {
+            [(s, d, th, pa)] => rows.push(eval_sensitivity_cell(&ds, s, d, th, pa, args)),
+            [(s0, d0, th0, pa0), (s1, d1, th1, pa1)] => {
+                let (a, b) = run_pair(
+                    || eval_sensitivity_cell(&ds, s0, d0, th0, pa0, args),
+                    || eval_sensitivity_cell(&ds, s1, d1, th1, pa1, args),
+                );
+                rows.push(a);
+                rows.push(b);
+            }
+            _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+        }
+    }
+    rows
+}
+
+/// Renders the sensitivity grid as one table row per cell.
+pub fn sensitivity_table(rows: &[SensitivityRow]) -> Table {
+    let mut t = Table::new(
+        "Buffered-policy sensitivity: accuracy × makespan across decay and re-balance trigger",
+        &[
+            "dataset",
+            "scenario",
+            "decay",
+            "threshold",
+            "patience",
+            "accuracy",
+            "epoch secs",
+            "buffered",
+            "moved nodes",
+        ],
+    );
+    for r in rows {
+        t.push_row([
+            r.dataset.clone(),
+            r.scenario.name().to_string(),
+            fmt2(r.decay),
+            fmt2(r.threshold),
+            r.patience.to_string(),
+            fmt2(r.accuracy),
+            fmt2(r.makespan),
+            r.buffered_updates.to_string(),
+            r.migrated_nodes.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Renders the sweep as one table row per scenario.
 pub fn table(rows: &[HeteroRow]) -> Table {
     let mut t = Table::new(
@@ -270,14 +482,17 @@ pub fn table(rows: &[HeteroRow]) -> Table {
             "epoch secs (vsecs)",
             "epoch secs (deadline)",
             "epoch secs (buffered)",
+            "epoch secs (async)",
             "epoch secs w.o. TT",
             "vsecs win",
             "deadline win",
             "buffered win",
+            "async win",
             "late drops",
             "buffered",
             "wasted",
             "moved nodes",
+            "async carried",
             "saved secs",
             "saved %",
             "util (nodes)",
@@ -294,14 +509,17 @@ pub fn table(rows: &[HeteroRow]) -> Table {
             fmt2(r.makespan_virtual_secs),
             fmt2(r.makespan_deadline),
             fmt2(r.makespan_buffered),
+            fmt2(r.makespan_async),
             fmt2(r.makespan_untrimmed),
             fmt2(r.weighted_win_secs()),
             fmt2(r.deadline_win_secs()),
             fmt2(r.buffered_win_secs()),
+            fmt2(r.async_win_secs()),
             r.late_drops.to_string(),
             r.buffered_updates.to_string(),
             r.wasted_updates.to_string(),
             r.migrated_nodes.to_string(),
+            r.async_carried.to_string(),
             fmt2(r.saved_secs()),
             fmt2(r.saved_pct()),
             fmt2(r.utilization_tree_nodes),
@@ -330,9 +548,10 @@ fn json_str(s: &str) -> String {
 }
 
 /// Renders the sweep as the machine-readable `BENCH_fig8.json` document:
-/// per-scenario, per-objective mean epoch makespans plus the derived wins,
-/// keyed by scale and seed so perf trajectories can be diffed run to run.
-pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
+/// per-scenario, per-objective mean epoch makespans plus the derived wins
+/// and the (possibly empty) sensitivity grid, keyed by scale and seed so
+/// perf trajectories can be diffed run to run.
+pub fn to_json(rows: &[HeteroRow], sensitivity: &[SensitivityRow], args: &HarnessArgs) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"fig8_hetero\",\n");
     out.push_str(&format!("  \"scale\": {},\n", json_str(args.scale.name())));
@@ -354,14 +573,19 @@ pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
                     "      \"makespan_virtual_secs\": {},\n",
                     "      \"makespan_deadline\": {},\n",
                     "      \"makespan_buffered\": {},\n",
+                    "      \"makespan_async\": {},\n",
                     "      \"makespan_untrimmed\": {},\n",
                     "      \"weighted_win_secs\": {},\n",
                     "      \"deadline_win_secs\": {},\n",
                     "      \"buffered_win_secs\": {},\n",
+                    "      \"async_win_secs\": {},\n",
                     "      \"late_drops\": {},\n",
                     "      \"buffered_updates\": {},\n",
                     "      \"wasted_updates\": {},\n",
                     "      \"migrated_nodes\": {},\n",
+                    "      \"async_carried\": {},\n",
+                    "      \"async_late_drops\": {},\n",
+                    "      \"async_wasted\": {},\n",
                     "      \"saved_secs\": {},\n",
                     "      \"utilization_tree_nodes\": {},\n",
                     "      \"utilization_virtual_secs\": {},\n",
@@ -376,14 +600,19 @@ pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
                 json_num(r.makespan_virtual_secs),
                 json_num(r.makespan_deadline),
                 json_num(r.makespan_buffered),
+                json_num(r.makespan_async),
                 json_num(r.makespan_untrimmed),
                 json_num(r.weighted_win_secs()),
                 json_num(r.deadline_win_secs()),
                 json_num(r.buffered_win_secs()),
+                json_num(r.async_win_secs()),
                 r.late_drops,
                 r.buffered_updates,
                 r.wasted_updates,
                 r.migrated_nodes,
+                r.async_carried,
+                r.async_late_drops,
+                r.async_wasted,
                 json_num(r.saved_secs()),
                 json_num(r.utilization_tree_nodes),
                 json_num(r.utilization_virtual_secs),
@@ -394,7 +623,42 @@ pub fn to_json(rows: &[HeteroRow], args: &HarnessArgs) -> String {
         })
         .collect();
     out.push_str(&body.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+    out.push_str("  \"sensitivity\": [\n");
+    let grid: Vec<String> = sensitivity
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"dataset\": {},\n",
+                    "      \"scenario\": {},\n",
+                    "      \"decay\": {},\n",
+                    "      \"threshold\": {},\n",
+                    "      \"patience\": {},\n",
+                    "      \"accuracy\": {},\n",
+                    "      \"makespan\": {},\n",
+                    "      \"buffered_updates\": {},\n",
+                    "      \"migrated_nodes\": {}\n",
+                    "    }}"
+                ),
+                json_str(&r.dataset),
+                json_str(r.scenario.name()),
+                json_num(r.decay),
+                json_num(r.threshold),
+                r.patience,
+                json_num(r.accuracy),
+                json_num(r.makespan),
+                r.buffered_updates,
+                r.migrated_nodes,
+            )
+        })
+        .collect();
+    out.push_str(&grid.join(",\n"));
+    if !grid.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -409,6 +673,7 @@ mod tests {
             seed: 8,
             quick: false,
             json: None,
+            sensitivity: false,
         }
     }
 
@@ -473,7 +738,45 @@ mod tests {
             tail.buffered_win_secs(),
             tail.deadline_win_secs()
         );
+        // The barrier-free quorum closes each round at the 80th-percentile
+        // landing: it must beat the barrier, carry its overflow forward,
+        // and neither drop nor waste a single update.
+        assert!(
+            tail.makespan_async < tail.makespan_tree_nodes,
+            "straggler-tail: async {} must beat full-sync {}",
+            tail.makespan_async,
+            tail.makespan_tree_nodes
+        );
+        assert!(tail.async_carried > 0, "the overflow must be carried");
+        assert_eq!(tail.async_late_drops, 0, "the quorum never drops");
+        assert_eq!(tail.async_wasted, 0, "the quorum never wastes");
+        assert_eq!(uniform.async_late_drops, 0);
+        assert_eq!(uniform.async_wasted, 0);
         assert_eq!(table(&[uniform, tail]).len(), 2);
+    }
+
+    #[test]
+    fn sensitivity_grid_covers_every_cell_and_decay_trades_time_for_accuracy() {
+        let mut args = smoke_args();
+        args.quick = true;
+        let grid = run_sensitivity(&args);
+        // Quick mode: 2 decays × 2 triggers on the straggler tail only.
+        assert_eq!(grid.len(), 4);
+        for r in &grid {
+            assert_eq!(r.scenario, Scenario::StragglerTail);
+            assert!(r.makespan > 0.0, "cell must simulate: {r:?}");
+            assert!(r.accuracy > 0.0, "cell must learn: {r:?}");
+            assert!(r.buffered_updates > 0, "tail must breach the deadline");
+        }
+        // Every grid coordinate is distinct.
+        let mut coords: Vec<(u64, u64, u32)> = grid
+            .iter()
+            .map(|r| (r.decay.to_bits(), r.threshold.to_bits(), r.patience))
+            .collect();
+        coords.sort_unstable();
+        coords.dedup();
+        assert_eq!(coords.len(), 4, "grid cells must not repeat");
+        assert_eq!(sensitivity_table(&grid).len(), 4);
     }
 
     #[test]
@@ -504,6 +807,7 @@ mod tests {
                 makespan_virtual_secs: 10.25,
                 makespan_deadline: 10.25,
                 makespan_buffered: 10.25,
+                makespan_async: 10.25,
                 makespan_untrimmed: 20.5,
                 utilization_tree_nodes: 0.8,
                 utilization_virtual_secs: 0.8,
@@ -514,6 +818,9 @@ mod tests {
                 buffered_updates: 0,
                 wasted_updates: 0,
                 migrated_nodes: 0,
+                async_carried: 0,
+                async_late_drops: 0,
+                async_wasted: 0,
             },
             HeteroRow {
                 dataset: "facebook-smoke".into(),
@@ -522,6 +829,7 @@ mod tests {
                 makespan_virtual_secs: 31.5,
                 makespan_deadline: 12.5,
                 makespan_buffered: 13.0,
+                makespan_async: 14.0,
                 makespan_untrimmed: 90.0,
                 utilization_tree_nodes: 0.3,
                 utilization_virtual_secs: 0.4,
@@ -532,9 +840,23 @@ mod tests {
                 buffered_updates: 9,
                 wasted_updates: 0,
                 migrated_nodes: 4,
+                async_carried: 6,
+                async_late_drops: 0,
+                async_wasted: 0,
             },
         ];
-        let json = to_json(&rows, &args);
+        let grid = vec![SensitivityRow {
+            dataset: "facebook-smoke".into(),
+            scenario: Scenario::StragglerTail,
+            decay: 0.3,
+            threshold: 1.5,
+            patience: 1,
+            accuracy: 0.61,
+            makespan: 12.75,
+            buffered_updates: 9,
+            migrated_nodes: 2,
+        }];
+        let json = to_json(&rows, &grid, &args);
         // Structural sanity without a JSON parser in the tree: balanced
         // delimiters, both scenario rows present, nulls where expected.
         assert_eq!(
@@ -549,10 +871,21 @@ mod tests {
         assert!(json.contains("\"weighted_win_secs\": 8.5"));
         assert!(json.contains("\"deadline_win_secs\": 27.5"));
         assert!(json.contains("\"buffered_win_secs\": 27.0"));
+        assert!(json.contains("\"async_win_secs\": 26.0"));
         assert!(json.contains("\"late_drops\": 11"));
         assert!(json.contains("\"buffered_updates\": 9"));
         assert!(json.contains("\"wasted_updates\": 0"));
         assert!(json.contains("\"migrated_nodes\": 4"));
+        assert!(json.contains("\"async_carried\": 6"));
+        assert!(json.contains("\"async_late_drops\": 0"));
+        assert!(json.contains("\"sensitivity\": ["));
+        assert!(json.contains("\"decay\": 0.3"));
+        assert!(json.contains("\"threshold\": 1.5"));
+        assert!(json.contains("\"accuracy\": 0.61"));
         assert!(json.ends_with("}\n"));
+        // An empty grid must still be a well-formed (empty) array.
+        let empty = to_json(&rows, &[], &args);
+        assert!(empty.contains("\"sensitivity\": [\n  ]"));
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
     }
 }

@@ -238,6 +238,7 @@ mod tests {
             seed: 7,
             quick: true,
             json: None,
+            sensitivity: false,
         };
         let r = run(&args);
         assert!(r.scalar_ns_per_cmp > 0.0 && r.bitsliced_ns_per_cmp > 0.0);

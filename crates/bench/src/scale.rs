@@ -297,6 +297,7 @@ mod tests {
             seed: 9,
             quick: true,
             json: None,
+            sensitivity: false,
         };
         let rows = vec![measure(300, false, 1, 9), measure(300, true, 1, 9)];
         let json = to_json(&rows, &args);

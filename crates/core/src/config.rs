@@ -88,9 +88,13 @@ pub struct LumosConfig {
     /// cut but blends each late update into the round where it actually
     /// arrives with weight `decay^staleness`, accounts its messages there,
     /// and live-migrates tree nodes off devices whose price stays above
-    /// twice the fleet mean. Every non-default policy needs a `scenario`
-    /// (the timing signal comes from the fleet profiles) and is inert
-    /// without one.
+    /// twice the fleet mean. `Async { min_updates }` abolishes the barrier
+    /// entirely: the round closes the moment `min_updates` updates have
+    /// landed, the overflow is carried into the next round at full weight,
+    /// and nothing is ever dropped (`min_updates ≥ n_devices` resolves to
+    /// `FullSync`). Every non-default policy needs a `scenario` (the
+    /// timing signal comes from the fleet profiles) and is inert without
+    /// one.
     pub aggregation_policy: AggregationPolicy,
     /// How device updates reach the server. The default `Flat` is the
     /// paper's star (every device uploads straight to the server, bit-
@@ -110,6 +114,13 @@ pub struct LumosConfig {
     pub rebalance_threshold: f64,
     /// Consecutive overpriced rounds required before migrating.
     pub rebalance_patience: u32,
+    /// Debug escape hatch: probe each round's lateness with the retired
+    /// lockstep path (`simulate_epoch` + post-hoc `late_with_staleness`)
+    /// instead of subscribing a [`lumos_sim::RoundPolicy`] to the live
+    /// event stream. Both paths are bit-identical (pinned by the
+    /// `event_runtime` property tests); this switch exists so a divergence
+    /// can be bisected, not as a supported mode.
+    pub lockstep_runtime: bool,
 }
 
 impl LumosConfig {
@@ -144,6 +155,7 @@ impl LumosConfig {
             topology: TopologyConfig::Flat,
             rebalance_threshold: 2.0,
             rebalance_patience: 2,
+            lockstep_runtime: false,
         }
     }
 
@@ -242,6 +254,14 @@ impl LumosConfig {
         self.rebalance_patience = patience;
         self
     }
+
+    /// Builder-style: probe round lateness with the retired lockstep path
+    /// instead of the live event-driven handlers (bisection aid only —
+    /// the two are bit-identical by construction).
+    pub fn with_lockstep_runtime(mut self) -> Self {
+        self.lockstep_runtime = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +280,7 @@ mod tests {
         assert_eq!(c.topology, TopologyConfig::Flat);
         assert_eq!(c.rebalance_threshold, 2.0);
         assert_eq!(c.rebalance_patience, 2);
+        assert!(!c.lockstep_runtime, "event-driven is the default runtime");
         assert_eq!(TaskKind::Supervised.metric_name(), "accuracy");
         assert_eq!(TaskKind::Unsupervised.metric_name(), "roc-auc");
     }
@@ -326,6 +347,19 @@ mod tests {
         assert_eq!(c.topology, TopologyConfig::Hierarchical { aggregators: 4 });
         assert_eq!(c.rebalance_threshold, 3.0);
         assert_eq!(c.rebalance_patience, 5);
+    }
+
+    #[test]
+    fn lockstep_runtime_builder_applies() {
+        let c = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised).with_lockstep_runtime();
+        assert!(c.lockstep_runtime);
+    }
+
+    #[test]
+    #[should_panic(expected = "async quorum")]
+    fn zero_quorum_fails_at_configuration_time() {
+        LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+            .with_aggregation_policy(AggregationPolicy::Async { min_updates: 0 });
     }
 
     #[test]

@@ -20,9 +20,10 @@ use lumos_graph::Graph;
 use lumos_tensor::{Adam, ParamStore, Tape, VarId};
 
 use lumos_sim::{
-    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, ScenarioState, StalenessBuffer,
+    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventDrivenRuntime, RoundPolicy,
+    ScenarioState, StalenessBuffer,
 };
-use lumos_topo::{shard_late_with_staleness, Topology};
+use lumos_topo::{shard_late_with_staleness, ShardRoundPolicies, Topology};
 
 use crate::batch::{build_batched, BatchedTrees, PoolArrays};
 use crate::config::{LumosConfig, TaskKind};
@@ -158,9 +159,9 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     let mut batch = build_batched(&trees, &ds.features, ds.feature_dim, &exchange);
 
     // The policy actually executed: `Buffered { decay: 0 }` resolves to
-    // `Deadline` up front, so the bit-for-bit collapse holds by
-    // construction.
-    let policy = cfg.aggregation_policy.effective();
+    // `Deadline` and a full-fleet `Async` quorum to `FullSync` up front,
+    // so both bit-for-bit collapses hold by construction.
+    let policy = cfg.aggregation_policy.resolve(n);
 
     // Semi-sync probe: the per-round message pattern is static between
     // migrations (same trees, same protocol every epoch), so one dry run of
@@ -197,9 +198,16 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
 
     // Buffered-policy state: the staleness buffer holding late updates
     // until their arrival round, and the re-balancer's per-device overload
-    // streaks.
+    // streaks. The async quorum reuses the whole buffering machinery at
+    // decay 1.0 — its overflow is carried, never discounted and never
+    // dropped — and additionally closes each round early at the quorum.
     let buffered_decay = match policy {
         AggregationPolicy::Buffered { decay, .. } => Some(decay),
+        AggregationPolicy::Async { .. } => Some(1.0),
+        _ => None,
+    };
+    let async_min = match policy {
+        AggregationPolicy::Async { min_updates } => Some(min_updates),
         _ => None,
     };
     let buffering = buffered_decay.is_some() && scenario.is_some();
@@ -324,13 +332,34 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
                     .as_ref()
                     .is_none_or(|(fleet, _)| fleet.as_slice() != state.profiles());
                 if stale {
-                    let timing = simulate_epoch(state.profiles(), template);
-                    // Hierarchical mode cuts the deadline per shard: each
-                    // aggregator measures lateness against its own members'
-                    // schedule, not the global fleet's.
-                    let lates = match &topology {
-                        Some(topo) => shard_late_with_staleness(&policy, &timing, topo),
-                        None => policy.late_with_staleness(&timing),
+                    // The round's decisions happen at event granularity:
+                    // the policy's arrival-time handlers subscribe to the
+                    // scheduled event stream and judge each update as it
+                    // lands (hierarchical mode routes events to per-shard
+                    // handlers, each cutting against its own local
+                    // median). The retired lockstep probe survives as a
+                    // bisection aid behind `cfg.lockstep_runtime` — both
+                    // paths are bit-identical by construction.
+                    let lates = if cfg.lockstep_runtime {
+                        let timing = simulate_epoch(state.profiles(), template);
+                        match &topology {
+                            Some(topo) => shard_late_with_staleness(&policy, &timing, topo),
+                            None => policy.late_with_staleness(&timing),
+                        }
+                    } else {
+                        let schedule = EventDrivenRuntime::new(state.profiles(), template);
+                        match &topology {
+                            Some(topo) => {
+                                let mut shards = ShardRoundPolicies::new(&policy, &schedule, topo);
+                                schedule.run(|t, ev| shards.on_event(t, ev));
+                                shards.verdicts()
+                            }
+                            None => {
+                                let mut round = RoundPolicy::new(&policy, &schedule);
+                                schedule.run(|t, ev| round.on_event(t, ev));
+                                round.verdicts()
+                            }
+                        }
                     };
                     probe_cache = Some((state.profiles().to_vec(), lates));
                 }
@@ -456,7 +485,22 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
                 runtime.defer_sends(s, sends);
             }
         }
-        runtime.end_epoch_dropping(&batch.tree_sizes, encoder.num_layers(), &late);
+        match async_min {
+            // The async quorum: the epoch record's simulation closes the
+            // round at the `min_updates`-th landing, the overflow rides
+            // the staleness buffer, and nothing counts as dropped.
+            Some(min_updates) if scenario.is_some() => {
+                runtime.end_epoch_closing(
+                    &batch.tree_sizes,
+                    encoder.num_layers(),
+                    &late,
+                    min_updates,
+                );
+            }
+            _ => {
+                runtime.end_epoch_dropping(&batch.tree_sizes, encoder.num_layers(), &late);
+            }
+        }
         // Churn applies *between* rounds: the fleet after the last epoch is
         // never simulated, so advancing there would overcount drops.
         if epoch + 1 < cfg.epochs {
@@ -1142,6 +1186,43 @@ mod tests {
         );
         assert_ne!(buffered.final_loss().to_bits(), full.final_loss().to_bits());
         assert!(buffered.test_metric > 0.3);
+    }
+
+    #[test]
+    fn async_quorum_closes_rounds_early_and_never_drops() {
+        let ds = Dataset::facebook_like(Scale::Smoke);
+        let base = smoke_config(TaskKind::Supervised)
+            .with_epochs(4)
+            .with_scenario(lumos_sim::Scenario::StragglerTail);
+        let full = run_lumos(&ds, &base);
+        // 80% quorum: the round closes when 4 of every 5 updates land —
+        // the Pareto tail stops gating the barrier entirely.
+        let quorum = ds.num_nodes() * 4 / 5;
+        let asynced = run_lumos(
+            &ds,
+            &base
+                .clone()
+                .with_aggregation_policy(AggregationPolicy::Async {
+                    min_updates: quorum,
+                }),
+        );
+        let fs = full.sim.clone().unwrap();
+        let asim = asynced.sim.clone().unwrap();
+        // Nothing is dropped and nothing is wasted: the overflow rides the
+        // staleness buffer into the next round at full weight.
+        assert_eq!(asim.late_drops, 0, "the quorum never drops");
+        assert_eq!(asim.wasted_updates, 0, "the quorum never wastes");
+        assert!(asim.buffered_updates > 0, "the overflow must be carried");
+        // Closing at the quorum beats waiting for the straggler tail.
+        assert!(
+            asim.avg_epoch_virtual_secs < fs.avg_epoch_virtual_secs,
+            "async {} must undercut full-sync {}",
+            asim.avg_epoch_virtual_secs,
+            fs.avg_epoch_virtual_secs
+        );
+        // A genuinely different trajectory that still learns.
+        assert_ne!(asynced.final_loss().to_bits(), full.final_loss().to_bits());
+        assert!(asynced.test_metric > 0.3);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! actual senders instead of being self-timed from its own burst.
 
 use lumos_common::timer::Stopwatch;
-use lumos_sim::{simulate_epoch, DeviceProfile, DeviceWork, EpochStats, Inbound};
+use lumos_sim::{
+    AggregationPolicy, Control, DeviceProfile, DeviceWork, EpochStats, EventDrivenRuntime, Inbound,
+    RoundPolicy,
+};
 use lumos_topo::{tier_timing, Topology};
 
 use crate::clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
@@ -115,8 +118,9 @@ pub struct EpochRecord {
     /// availability shows up instead of the frozen round-0 prices. `None`
     /// on the plain cost-model path.
     pub node_costs_micros: Option<Vec<u64>>,
-    /// Devices dropped by the aggregation deadline this epoch (empty under
-    /// the full-sync barrier).
+    /// Devices that left this epoch's barrier: dropped by the aggregation
+    /// deadline under the cut policies, or carried into a later round by
+    /// the async quorum (empty under the full-sync barrier).
     pub late: Vec<u32>,
 }
 
@@ -290,6 +294,45 @@ impl Runtime {
         layers: usize,
         late: &[u32],
     ) -> &EpochRecord {
+        self.late_drops += late.len() as u64;
+        self.close_epoch(device_tree_nodes, layers, late, None)
+    }
+
+    /// Ends the open epoch under the barrier-free async quorum
+    /// ([`AggregationPolicy::Async`]): the round closes the moment
+    /// `min_updates` updates have landed, so the simulated makespan is the
+    /// quorum landing time, not the slowest device's. `carried` names the
+    /// devices whose updates are riding the staleness buffer into a later
+    /// round this epoch — they are simulated as absent (their traffic was
+    /// deferred, not sent) and recorded in [`EpochRecord::late`], but they
+    /// are **not** tallied into [`Runtime::late_drops`]: nothing is
+    /// discarded under the quorum, only deferred.
+    ///
+    /// # Panics
+    /// Panics if no epoch is open, if `device_tree_nodes` does not have one
+    /// entry per device, if `carried` names a device id out of range, or if
+    /// `min_updates` is zero.
+    pub fn end_epoch_closing(
+        &mut self,
+        device_tree_nodes: &[usize],
+        layers: usize,
+        carried: &[u32],
+        min_updates: usize,
+    ) -> &EpochRecord {
+        self.close_epoch(device_tree_nodes, layers, carried, Some(min_updates))
+    }
+
+    /// Shared epoch-closing core: prices the ledger window, runs the
+    /// event-driven simulation (with `quorum` as the round-closing handler
+    /// when present, the uninterrupted barrier otherwise), extends timing
+    /// with the aggregator tier, and pushes the [`EpochRecord`].
+    fn close_epoch(
+        &mut self,
+        device_tree_nodes: &[usize],
+        layers: usize,
+        late: &[u32],
+        quorum: Option<usize>,
+    ) -> &EpochRecord {
         let (idx, mut sw, snap) = self.current.take().expect("no epoch open");
         sw.stop();
         self.network.round();
@@ -311,14 +354,22 @@ impl Runtime {
         let n = self.network.num_devices().max(1) as f64;
         let mut sim = self.profiles.as_ref().map(|profiles| {
             let work = ledger_work(&self.network, &snap, device_tree_nodes, layers);
-            if late.is_empty() {
-                simulate_epoch(profiles, &work)
+            let schedule = if late.is_empty() {
+                EventDrivenRuntime::new(profiles, &work)
             } else {
                 let mut overlay = profiles.clone();
                 for &d in late {
                     overlay[d as usize].available = false;
                 }
-                simulate_epoch(&overlay, &work)
+                EventDrivenRuntime::new(&overlay, &work)
+            };
+            match quorum {
+                Some(min_updates) => {
+                    let mut closer =
+                        RoundPolicy::new(&AggregationPolicy::Async { min_updates }, &schedule);
+                    schedule.run(|t, ev| closer.on_event(t, ev))
+                }
+                None => schedule.run(|_, _| Control::Continue),
             }
         });
         if let (Some(stats), Some(tier)) = (sim.as_mut(), self.tier.as_ref()) {
@@ -330,7 +381,6 @@ impl Runtime {
             self.tier2_secs += extended - stats.makespan_secs;
             stats.makespan_secs = extended;
         }
-        self.late_drops += late.len() as u64;
         self.epochs.push(EpochRecord {
             epoch: idx,
             timing: EpochTiming {
@@ -600,6 +650,46 @@ mod tests {
         );
         assert_eq!(ds.active_devices, 3, "the late device sat the round out");
         assert_eq!(fs.active_devices, 4);
+    }
+
+    #[test]
+    fn async_quorum_closes_the_round_without_tallying_drops() {
+        let mut profiles = vec![DeviceProfile::baseline(); 4];
+        profiles[3].compute_rate /= 500.0;
+        let round = |rt: &mut Runtime| {
+            rt.begin_epoch();
+            for d in 0..4 {
+                rt.network.send_to_server(d, 64);
+            }
+        };
+        let mut full_rt = Runtime::with_profiles(4, CostModel::default(), profiles.clone());
+        round(&mut full_rt);
+        let full = full_rt.end_epoch(&[5, 5, 5, 5], 2).clone();
+
+        // Quorum of 3: the round closes at the third landing, long before
+        // the straggler's — and nothing is tallied as dropped.
+        let mut rt = Runtime::with_profiles(4, CostModel::default(), profiles.clone());
+        round(&mut rt);
+        let quorum = rt.end_epoch_closing(&[5, 5, 5, 5], 2, &[], 3).clone();
+        assert_eq!(rt.late_drops(), 0, "the quorum drops nothing");
+        assert!(quorum.late.is_empty());
+        let (fs, qs) = (full.sim.unwrap(), quorum.sim.unwrap());
+        assert!(
+            qs.makespan_secs < fs.makespan_secs / 10.0,
+            "the quorum must close before the straggler: {} vs {}",
+            qs.makespan_secs,
+            fs.makespan_secs
+        );
+        assert_eq!(qs.active_devices, 4, "everyone still computed");
+
+        // A carried device rides the staleness buffer: absent from this
+        // round's simulation, named in the record, still not a drop.
+        let mut rt = Runtime::with_profiles(4, CostModel::default(), profiles.clone());
+        round(&mut rt);
+        let carried = rt.end_epoch_closing(&[5, 5, 5, 5], 2, &[3], 3).clone();
+        assert_eq!(rt.late_drops(), 0);
+        assert_eq!(carried.late, vec![3]);
+        assert_eq!(carried.sim.unwrap().active_devices, 3);
     }
 
     #[test]

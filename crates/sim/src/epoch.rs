@@ -19,7 +19,7 @@
 //! clock — so identical inputs give bit-identical statistics.
 
 use crate::profile::DeviceProfile;
-use crate::queue::{EventQueue, VirtualTime};
+use crate::runtime::{Control, EventDrivenRuntime};
 
 /// Sender id marking payloads from the aggregation server rather than a
 /// peer device. The server is not simulated, so its payloads are treated as
@@ -136,28 +136,6 @@ impl EpochStats {
     }
 }
 
-/// Simulation events; each is attributed to the device that caused it.
-enum Event {
-    /// Local compute finished.
-    ComputeDone(u32),
-    /// The last message of the device's outbound burst arrived.
-    Delivered(u32),
-    /// One sender's payload landed at one receiver (per incoming edge;
-    /// attributed to the sender, whose burst it closes at that receiver).
-    Arrived { from: u32 },
-    /// All inbound payload drained through the downlink.
-    InboxDrained(u32),
-}
-
-impl Event {
-    fn device(&self) -> u32 {
-        match *self {
-            Event::ComputeDone(d) | Event::Delivered(d) | Event::InboxDrained(d) => d,
-            Event::Arrived { from } => from,
-        }
-    }
-}
-
 /// Runs one epoch over the fleet and returns its statistics.
 ///
 /// Devices with `available == false` contribute nothing (their update is
@@ -168,163 +146,14 @@ impl Event {
 /// and collapses to it bit-for-bit when every sender lands at or before the
 /// receiver's own barrier (property-tested in `tests/sim_properties.rs`).
 ///
+/// This is the synchronous barrier expressed on the event-driven core: an
+/// [`EventDrivenRuntime`] run whose handler never closes the round — the
+/// degenerate schedule every other aggregation policy is an early-exit of.
+///
 /// # Panics
 /// Panics if `profiles` and `work` have different lengths.
 pub fn simulate_epoch(profiles: &[DeviceProfile], work: &[DeviceWork]) -> EpochStats {
-    assert_eq!(
-        profiles.len(),
-        work.len(),
-        "one workload entry per device profile"
-    );
-    let n = profiles.len();
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    let mut busy = vec![0.0f64; n];
-    let mut update_delivery: Vec<Option<f64>> = vec![None; n];
-    // Burst barrier (compute + upload + latency) of every scheduled device;
-    // `delivered` is Some only when the device actually ships a burst.
-    let mut barrier: Vec<Option<VirtualTime>> = vec![None; n];
-    let mut delivered: Vec<Option<VirtualTime>> = vec![None; n];
-    let mut active = 0usize;
-
-    for (d, (p, w)) in profiles.iter().zip(work).enumerate() {
-        if !p.available {
-            continue;
-        }
-        active += 1;
-        if w.is_idle() {
-            continue;
-        }
-        p.validate();
-        let compute_end = VirtualTime::new(p.compute_secs(w.compute_units));
-        queue.push(compute_end, Event::ComputeDone(d as u32));
-        let upload = p.upload_secs(w.bytes_out);
-        let download = p.download_secs(w.bytes_in());
-        let burst = w.messages_out > 0 || w.bytes_out > 0;
-        let barrier_d = compute_end.after(upload).after(p.latency_secs);
-        barrier[d] = Some(barrier_d);
-        if burst {
-            delivered[d] = Some(barrier_d);
-        }
-        update_delivery[d] = Some(if burst {
-            barrier_d.secs()
-        } else {
-            compute_end.secs()
-        });
-        // Busy time mirrors the event chain exactly (same additions in the
-        // same order, so a self-timed straggler's idle time is a bitwise
-        // 0.0): any traffic serializes upload → latency → drain after the
-        // compute. Waiting on other senders' deliveries is idle.
-        let has_traffic = burst || w.bytes_in() > 0;
-        busy[d] = if has_traffic {
-            ((compute_end.secs() + upload) + p.latency_secs) + download
-        } else {
-            compute_end.secs()
-        };
-    }
-
-    // Per-destination pass: each scheduled receiver's drain start is the
-    // max of its own barrier and its live cross-senders' delivery times;
-    // the transpose gives every sender its per-edge arrival events.
-    let mut drain_start: Vec<Option<VirtualTime>> = vec![None; n];
-    let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (d, w) in work.iter().enumerate() {
-        let Some(own_barrier) = barrier[d] else {
-            continue;
-        };
-        if w.bytes_in() == 0 {
-            continue;
-        }
-        let mut start = own_barrier;
-        if let Inbound::PerSender(list) = &w.inbound {
-            for &(s, bytes) in list {
-                if bytes == 0 || s == d as u32 || s == SERVER_SENDER {
-                    continue;
-                }
-                let Some(t) = delivered.get(s as usize).copied().flatten() else {
-                    // Absent/idle/burst-less sender: its payload is treated
-                    // as staged (the overlay never blocks the round on a
-                    // device the round skipped).
-                    continue;
-                };
-                if t > start {
-                    start = t;
-                }
-                // A sender repeated in the ledger list contributes one
-                // delivery edge, not one per occurrence: within this
-                // receiver's loop every push into `out_edges[s]` is `d`,
-                // so a trailing `d` means `s` was already recorded.
-                if out_edges[s as usize].last() != Some(&(d as u32)) {
-                    out_edges[s as usize].push(d as u32);
-                }
-            }
-        }
-        drain_start[d] = Some(start);
-    }
-
-    let mut events = 0u64;
-    let mut straggler = None;
-    let mut makespan = VirtualTime::ZERO;
-    while let Some((t, ev)) = queue.pop() {
-        events += 1;
-        makespan = t;
-        straggler = Some(ev.device());
-        let d = ev.device() as usize;
-        let (p, w) = (&profiles[d], &work[d]);
-        match ev {
-            Event::ComputeDone(dev) => {
-                // Uplink: messages serialize, so the burst's last message
-                // lands one latency after the whole upload ends. Only the
-                // closing delivery plus one arrival per receiving edge are
-                // scheduled — earlier intra-burst deliveries are strictly
-                // before them and observable by nothing.
-                if let Some(time) = delivered[d] {
-                    queue.push(time, Event::Delivered(dev));
-                    for _receiver in &out_edges[d] {
-                        queue.push(time, Event::Arrived { from: dev });
-                    }
-                }
-                // Downlink: the drain starts at the precomputed per-
-                // destination start (>= the device's own barrier, so never
-                // in the simulated past of this handler).
-                if let Some(start) = drain_start[d] {
-                    queue.push(
-                        start.after(p.download_secs(w.bytes_in())),
-                        Event::InboxDrained(dev),
-                    );
-                }
-            }
-            Event::Delivered(_) | Event::Arrived { .. } | Event::InboxDrained(_) => {}
-        }
-    }
-
-    let makespan_secs = makespan.secs();
-    let idle = profiles
-        .iter()
-        .zip(&busy)
-        .map(|(p, &b)| {
-            if p.available {
-                // Busy is each device's serialized critical path, computed
-                // with the exact float additions of the event chain, and
-                // the closing drain fires at or after that path's end — so
-                // busy can never exceed the makespan (a clamp here once
-                // masked the missing latency term).
-                let idle = makespan_secs - b;
-                debug_assert!(idle >= 0.0, "busy {b} exceeds makespan {makespan_secs}");
-                idle
-            } else {
-                0.0
-            }
-        })
-        .collect();
-    EpochStats {
-        makespan_secs,
-        busy_secs: busy,
-        idle_secs: idle,
-        update_delivery_secs: update_delivery,
-        straggler,
-        active_devices: active,
-        events,
-    }
+    EventDrivenRuntime::new(profiles, work).run(|_, _| Control::Continue)
 }
 
 #[cfg(test)]

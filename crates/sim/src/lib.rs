@@ -10,19 +10,29 @@
 //!   seeded heterogeneity distributions ([`Heterogeneity`]: uniform,
 //!   jitter, lognormal, Pareto).
 //! * [`queue`] — a virtual-time event queue ([`EventQueue`] over
-//!   [`VirtualTime`], ties broken by push sequence) with no real clock
-//!   anywhere in the simulation path.
-//! * [`epoch`] — [`simulate_epoch`]: schedules per-device compute,
-//!   per-edge message-delivery ([`Inbound::PerSender`]: a receiver's drain
-//!   starts at the latest of its senders' actual delivery times), and
-//!   inbox-drain events, and reports the epoch makespan, per-device
-//!   busy/idle time, per-device update-delivery times, and the straggler's
-//!   identity.
+//!   [`VirtualTime`], ties broken by the event's [`TieBreak`] key —
+//!   (kind, device) for simulation events — then push sequence) with no
+//!   real clock anywhere in the simulation path.
+//! * [`runtime`] — the [`EventDrivenRuntime`]: prices one epoch's full
+//!   event schedule up front and streams every [`SimEvent`] through a
+//!   subscribed handler, which may close the round early
+//!   ([`Control::CloseRound`]). This is the core `lumos-fed` and
+//!   `lumos-core` train on.
+//! * [`epoch`] — [`simulate_epoch`]: the synchronous barrier as the
+//!   degenerate event-driven run (a handler that never closes). Schedules
+//!   per-device compute, per-edge message-delivery
+//!   ([`Inbound::PerSender`]: a receiver's drain starts at the latest of
+//!   its senders' actual delivery times), and inbox-drain events, and
+//!   reports the epoch makespan, per-device busy/idle time, per-device
+//!   update-delivery times, and the straggler's identity.
 //! * [`policy`] — [`AggregationPolicy`]: the synchronous barrier
 //!   (`FullSync`), a semi-synchronous deadline that drops updates landing
-//!   after a multiple of the round's median delivery time, or the buffered
+//!   after a multiple of the round's median delivery time, the buffered
 //!   variant that keeps the same cut but blends late updates into later
-//!   rounds with staleness-decayed weights ([`StalenessBuffer`]).
+//!   rounds with staleness-decayed weights ([`StalenessBuffer`]), or the
+//!   barrier-free `Async` quorum that closes the round the moment
+//!   `min_updates` have landed. [`RoundPolicy`] is each policy expressed
+//!   as an event handler that judges updates at arrival time.
 //! * [`scenario`] — presets ([`Scenario::Uniform`],
 //!   [`Scenario::MobileFleet`], [`Scenario::StragglerTail`],
 //!   [`Scenario::Churn`]) and the round-to-round fleet evolution
@@ -37,10 +47,12 @@ pub mod epoch;
 pub mod policy;
 pub mod profile;
 pub mod queue;
+pub mod runtime;
 pub mod scenario;
 
 pub use epoch::{simulate_epoch, DeviceWork, EpochStats, Inbound, SERVER_SENDER};
-pub use policy::{AggregationPolicy, StalenessBuffer, STALENESS_CAP};
+pub use policy::{AggregationPolicy, RoundPolicy, StalenessBuffer, STALENESS_CAP};
 pub use profile::{DeviceProfile, FleetSpec, Heterogeneity};
-pub use queue::{EventQueue, VirtualTime};
+pub use queue::{EventQueue, TieBreak, VirtualTime};
+pub use runtime::{Control, EventDrivenRuntime, SimEvent};
 pub use scenario::{Scenario, ScenarioState};

@@ -13,8 +13,23 @@
 //! one is blended into a later round's POOL with weight
 //! `decay^staleness` (FedAsync-style staleness discounting), where the
 //! staleness is how many extra round-lengths the update spent in flight.
+//! The fully-asynchronous policy retires the barrier outright: the round
+//! closes the moment `min_updates` have landed
+//! ([`AggregationPolicy::Async`]), and every update that missed the quorum
+//! is carried to the next round at full weight — nothing is dropped and
+//! nothing is discounted.
+//!
+//! Since the event-driven refactor each policy is also expressible as an
+//! *event handler* ([`RoundPolicy`]): subscribed to an
+//! [`EventDrivenRuntime`] run, it judges each update as its landing event
+//! pops and, for `Async`, closes the round from inside the event stream.
+//! The post-hoc path ([`AggregationPolicy::late_with_staleness`]) computes
+//! the identical sets from the finished timing signal, which is what makes
+//! the lockstep and event-driven runtimes bit-interchangeable.
 
 use crate::epoch::EpochStats;
+use crate::queue::VirtualTime;
+use crate::runtime::{Control, EventDrivenRuntime, SimEvent};
 
 /// Upper bound on how many rounds a late update may stay in flight before
 /// it is blended in: both its arrival round and its staleness exponent are
@@ -56,6 +71,21 @@ pub enum AggregationPolicy {
         /// `s` rounds late pools with weight `decay^s`.
         decay: f64,
     },
+    /// Barrier-free asynchronous aggregation: the round pools the moment
+    /// `min_updates` updates have landed — no global barrier at all. The
+    /// quorum is the `min_updates` earliest landings in `(delivery time,
+    /// device id)` order (the tie-break mirrors the event queue's total
+    /// order, so the set is push-order-independent); every other update is
+    /// carried to the next round at *full* weight (staleness 1, no decay) —
+    /// nothing is dropped (`late_drops = 0`) and nothing is wasted
+    /// (`wasted_updates = 0`). With `min_updates >= n_devices` the quorum
+    /// is the whole fleet, which is exactly the synchronous barrier:
+    /// [`AggregationPolicy::resolve`] collapses that configuration to
+    /// `FullSync` up front, bit for bit.
+    Async {
+        /// Updates that must land before the round closes and pools.
+        min_updates: usize,
+    },
 }
 
 impl AggregationPolicy {
@@ -65,6 +95,7 @@ impl AggregationPolicy {
             AggregationPolicy::FullSync => "full-sync",
             AggregationPolicy::Deadline { .. } => "deadline",
             AggregationPolicy::Buffered { .. } => "buffered",
+            AggregationPolicy::Async { .. } => "async",
         }
     }
 
@@ -77,10 +108,17 @@ impl AggregationPolicy {
     /// below 1 would drop the median device — and with it any guarantee
     /// that a round keeps a majority), or if a buffered decay is not a
     /// finite value in `[0, 1]` (a weight above 1 would *amplify* stale
-    /// updates with their own age).
+    /// updates with their own age), or if an async quorum is zero (a round
+    /// must wait for at least one update before pooling).
     pub fn validate(&self) {
         match *self {
             AggregationPolicy::FullSync => {}
+            AggregationPolicy::Async { min_updates } => {
+                assert!(
+                    min_updates >= 1,
+                    "async quorum must wait for at least one update"
+                );
+            }
             AggregationPolicy::Deadline { factor } => {
                 assert!(
                     factor.is_finite() && factor >= 1.0,
@@ -114,11 +152,26 @@ impl AggregationPolicy {
         }
     }
 
+    /// The policy actually executed for a fleet of `n_devices`: applies
+    /// [`AggregationPolicy::effective`], then collapses an `Async` quorum
+    /// of the whole fleet (or more) to `FullSync` — waiting for every
+    /// device *is* the synchronous barrier, so the two configurations are
+    /// made bit-identical by construction (same code path, same reports).
+    pub fn resolve(self, n_devices: usize) -> AggregationPolicy {
+        match self.effective() {
+            AggregationPolicy::Async { min_updates } if min_updates >= n_devices => {
+                AggregationPolicy::FullSync
+            }
+            p => p,
+        }
+    }
+
     /// The deadline factor shared by the cutting policies (`None` under
-    /// [`AggregationPolicy::FullSync`]).
+    /// [`AggregationPolicy::FullSync`] and [`AggregationPolicy::Async`],
+    /// which cut by quorum rank, not by deadline).
     fn cut_factor(&self) -> Option<f64> {
         match *self {
-            AggregationPolicy::FullSync => None,
+            AggregationPolicy::FullSync | AggregationPolicy::Async { .. } => None,
             AggregationPolicy::Deadline { factor } | AggregationPolicy::Buffered { factor, .. } => {
                 Some(factor)
             }
@@ -148,14 +201,22 @@ impl AggregationPolicy {
     /// deadline arrives two rounds later (staleness 2). Sorted by device
     /// id.
     ///
+    /// Under [`AggregationPolicy::Async`] the "late" set is the complement
+    /// of the quorum — every device whose update lands after the
+    /// `min_updates` earliest (in `(delivery time, device id)` order) —
+    /// each at staleness 1: carried to the next round, undecayed.
+    ///
     /// # Panics
     /// Panics if the policy's parameters are invalid (see
     /// [`AggregationPolicy::validate`]).
     pub fn late_with_staleness(&self, stats: &EpochStats) -> Vec<(u32, u32)> {
+        self.validate();
+        if let AggregationPolicy::Async { min_updates } = *self {
+            return async_overflow(min_updates, &stats.update_delivery_secs);
+        }
         let Some(factor) = self.cut_factor() else {
             return Vec::new();
         };
-        self.validate();
         let mut times: Vec<f64> = stats
             .update_delivery_secs
             .iter()
@@ -185,6 +246,203 @@ impl AggregationPolicy {
                 Some((d as u32, staleness))
             })
             .collect()
+    }
+}
+
+/// Landings in quorum order: every `(delivery time, device)` that lands,
+/// sorted by time with ties broken by device id — the same total order the
+/// event queue pops simultaneous landings in, so the quorum boundary is a
+/// pure function of the schedule.
+fn landing_order(planned: &[Option<f64>]) -> Vec<(f64, u32)> {
+    let mut landed: Vec<(f64, u32)> = planned
+        .iter()
+        .enumerate()
+        .filter_map(|(d, t)| t.map(|t| (t, d as u32)))
+        .collect();
+    landed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    landed
+}
+
+/// The devices an async quorum of `min_updates` leaves out, each at
+/// staleness 1, sorted by device id. Empty when the whole round fits in
+/// the quorum.
+fn async_overflow(min_updates: usize, planned: &[Option<f64>]) -> Vec<(u32, u32)> {
+    let landed = landing_order(planned);
+    if landed.len() <= min_updates {
+        return Vec::new();
+    }
+    let mut late: Vec<(u32, u32)> = landed[min_updates..].iter().map(|&(_, d)| (d, 1)).collect();
+    late.sort_unstable_by_key(|&(d, _)| d);
+    late
+}
+
+/// One round of an aggregation policy, expressed as an event handler.
+///
+/// Where [`AggregationPolicy::late_with_staleness`] judges a *finished*
+/// round from its timing signal, a `RoundPolicy` subscribes to the live
+/// [`EventDrivenRuntime`] stream and decides at arrival time: as each
+/// update's landing event pops it is judged on the spot (on time, or late
+/// with its staleness), and under [`AggregationPolicy::Async`] the round
+/// is closed from inside the stream the moment the quorum lands. Because
+/// the schedule is static, the deadline (a median over the round) and the
+/// quorum boundary are priced from
+/// [`EventDrivenRuntime::update_delivery_secs`] at construction — the
+/// verdicts are therefore identical to the post-hoc path, which is exactly
+/// the refactor's compatibility contract (property-tested in
+/// `tests/sim_properties.rs`).
+///
+/// For sharded (hierarchical) aggregation, construct one `RoundPolicy` per
+/// shard with [`RoundPolicy::for_members`]: each judges only its members,
+/// against its shard-local median.
+#[derive(Debug, Clone)]
+pub struct RoundPolicy {
+    planned: Vec<Option<f64>>,
+    burst: Vec<bool>,
+    mode: RoundMode,
+    verdicts: Vec<(u32, u32)>,
+}
+
+#[derive(Debug, Clone)]
+enum RoundMode {
+    /// Nothing to decide: run to the barrier (`FullSync`, rounds where
+    /// nothing lands, and async quorums the whole round fits inside).
+    Barrier,
+    /// Deadline cut: judge each landing against the precomputed deadline.
+    Cut { deadline: f64 },
+    /// Async quorum: close the round once every awaited landing has
+    /// popped; everyone else is carried at staleness 1.
+    Quorum {
+        awaiting: Vec<bool>,
+        remaining: usize,
+        late: Vec<(u32, u32)>,
+    },
+}
+
+impl RoundPolicy {
+    /// A handler judging the whole fleet.
+    ///
+    /// # Panics
+    /// Panics if the policy's parameters are invalid.
+    pub fn new(policy: &AggregationPolicy, schedule: &EventDrivenRuntime) -> Self {
+        Self::for_members(policy, schedule, None)
+    }
+
+    /// A handler judging only devices in `members` (a shard's contiguous
+    /// id range): landings outside it are ignored and the deadline median
+    /// is computed over members alone.
+    ///
+    /// # Panics
+    /// Panics if the policy's parameters are invalid.
+    pub fn for_members(
+        policy: &AggregationPolicy,
+        schedule: &EventDrivenRuntime,
+        members: Option<std::ops::Range<u32>>,
+    ) -> Self {
+        policy.validate();
+        let mut planned = schedule.update_delivery_secs().to_vec();
+        if let Some(range) = &members {
+            for (d, t) in planned.iter_mut().enumerate() {
+                if !range.contains(&(d as u32)) {
+                    *t = None;
+                }
+            }
+        }
+        let burst = schedule.ships_burst().to_vec();
+        let mode = match *policy {
+            AggregationPolicy::FullSync => RoundMode::Barrier,
+            AggregationPolicy::Deadline { factor } | AggregationPolicy::Buffered { factor, .. } => {
+                let mut times: Vec<f64> = planned.iter().flatten().copied().collect();
+                if times.is_empty() {
+                    RoundMode::Barrier
+                } else {
+                    times.sort_by(f64::total_cmp);
+                    let median = times[(times.len() - 1) / 2];
+                    RoundMode::Cut {
+                        deadline: factor * median,
+                    }
+                }
+            }
+            AggregationPolicy::Async { min_updates } => {
+                let landed = landing_order(&planned);
+                if landed.len() <= min_updates {
+                    RoundMode::Barrier
+                } else {
+                    let mut awaiting = vec![false; planned.len()];
+                    for &(_, d) in &landed[..min_updates] {
+                        awaiting[d as usize] = true;
+                    }
+                    RoundMode::Quorum {
+                        awaiting,
+                        remaining: min_updates,
+                        late: async_overflow(min_updates, &planned),
+                    }
+                }
+            }
+        };
+        Self {
+            planned,
+            burst,
+            mode,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Feeds one event through the policy. A bursting device's update
+    /// lands at its `Delivered` event, a burst-less one's at its
+    /// `ComputeDone`; everything else (arrivals, drains, non-members) is
+    /// passed through. Returns [`Control::CloseRound`] exactly when an
+    /// async quorum completes.
+    pub fn on_event(&mut self, t: VirtualTime, ev: &SimEvent) -> Control {
+        let d = ev.device() as usize;
+        let landing = match ev {
+            SimEvent::Delivered(_) => self.planned[d].is_some() && self.burst[d],
+            SimEvent::ComputeDone(_) => self.planned[d].is_some() && !self.burst[d],
+            SimEvent::Arrived { .. } | SimEvent::InboxDrained(_) => false,
+        };
+        if !landing {
+            return Control::Continue;
+        }
+        match &mut self.mode {
+            RoundMode::Barrier => Control::Continue,
+            RoundMode::Cut { deadline } => {
+                let deadline = *deadline;
+                let t = t.secs();
+                if t > deadline {
+                    let staleness = if deadline > 0.0 {
+                        ((t / deadline).ceil() - 1.0).clamp(1.0, STALENESS_CAP as f64) as u32
+                    } else {
+                        STALENESS_CAP
+                    };
+                    self.verdicts.push((d as u32, staleness));
+                }
+                Control::Continue
+            }
+            RoundMode::Quorum {
+                awaiting,
+                remaining,
+                late,
+            } => {
+                if awaiting[d] {
+                    awaiting[d] = false;
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        // The quorum is complete: everyone still in flight
+                        // is carried to the next round, at full weight.
+                        self.verdicts.append(late);
+                        return Control::CloseRound;
+                    }
+                }
+                Control::Continue
+            }
+        }
+    }
+
+    /// The round's late/carried set, `(device, staleness)` sorted by
+    /// device id — the same pairs the post-hoc
+    /// [`AggregationPolicy::late_with_staleness`] computes.
+    pub fn verdicts(mut self) -> Vec<(u32, u32)> {
+        self.verdicts.sort_unstable_by_key(|&(d, _)| d);
+        self.verdicts
     }
 }
 
@@ -436,5 +694,123 @@ mod tests {
         buf.push(0, 1);
         let w = buf.advance(1);
         assert_eq!(w, vec![1.0]);
+    }
+
+    #[test]
+    fn async_quorum_carries_the_overflow_at_full_staleness() {
+        // Quorum 2 over landings at 1.0 (d0), 3.0 (d1), 2.0 (d2), 5.0
+        // (d4): the two earliest (d0, d2) pool; d1 and d4 are carried at
+        // staleness 1. The absent device is never judged.
+        let s = stats_with(vec![Some(1.0), Some(3.0), Some(2.0), None, Some(5.0)]);
+        let late = AggregationPolicy::Async { min_updates: 2 }.late_with_staleness(&s);
+        assert_eq!(late, vec![(1, 1), (4, 1)]);
+        assert_eq!(AggregationPolicy::Async { min_updates: 2 }.name(), "async");
+    }
+
+    #[test]
+    fn async_ties_at_the_quorum_boundary_break_by_device_id() {
+        let s = stats_with(vec![Some(1.0), Some(1.0), Some(1.0)]);
+        let late = AggregationPolicy::Async { min_updates: 2 }.late_with_staleness(&s);
+        assert_eq!(late, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn async_quorum_of_everyone_carries_nobody() {
+        let s = stats_with(vec![Some(1.0), Some(40.0), None]);
+        let late = AggregationPolicy::Async { min_updates: 2 }.late_with_staleness(&s);
+        assert!(late.is_empty(), "both landings fit in the quorum");
+    }
+
+    #[test]
+    fn full_fleet_quorum_resolves_to_full_sync() {
+        // min_updates >= n_devices is the synchronous barrier, collapsed up
+        // front so both configurations share one code path bit for bit.
+        let whole = AggregationPolicy::Async { min_updates: 8 };
+        assert_eq!(whole.resolve(8), AggregationPolicy::FullSync);
+        assert_eq!(whole.resolve(7), AggregationPolicy::FullSync);
+        let partial = AggregationPolicy::Async { min_updates: 7 };
+        assert_eq!(partial.resolve(8), partial);
+        // resolve() still applies the zero-decay buffered collapse.
+        let buffered = AggregationPolicy::Buffered {
+            factor: 2.0,
+            decay: 0.0,
+        };
+        assert_eq!(
+            buffered.resolve(8),
+            AggregationPolicy::Deadline { factor: 2.0 }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_quorum_panics() {
+        AggregationPolicy::Async { min_updates: 0 }.validate();
+    }
+
+    fn straggler_fleet() -> (Vec<DeviceProfile>, Vec<DeviceWork>) {
+        let mut profiles = vec![DeviceProfile::baseline(); 5];
+        profiles[3].compute_rate /= 100.0;
+        let w: Vec<DeviceWork> = (0..5)
+            .map(|_| DeviceWork::aggregate(100.0, 1, 64, 0))
+            .collect();
+        (profiles, w)
+    }
+
+    #[test]
+    fn round_policy_verdicts_match_the_post_hoc_path() {
+        // The arrival-time handler and the finished-round computation must
+        // agree exactly — that equivalence is what lets the trainer switch
+        // between the lockstep and event-driven probes bit for bit.
+        let (profiles, w) = straggler_fleet();
+        for policy in [
+            AggregationPolicy::FullSync,
+            AggregationPolicy::Deadline { factor: 2.0 },
+            AggregationPolicy::Buffered {
+                factor: 2.0,
+                decay: 0.5,
+            },
+            AggregationPolicy::Async { min_updates: 3 },
+        ] {
+            let schedule = EventDrivenRuntime::new(&profiles, &w);
+            let mut round = RoundPolicy::new(&policy, &schedule);
+            let stats = schedule.run(|t, ev| round.on_event(t, ev));
+            assert_eq!(
+                round.verdicts(),
+                policy.late_with_staleness(&stats),
+                "{} handler disagreed with the post-hoc cut",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn round_policy_closes_the_async_round_at_the_quorum() {
+        let (profiles, w) = straggler_fleet();
+        let full = simulate_epoch(&profiles, &w);
+        let schedule = EventDrivenRuntime::new(&profiles, &w);
+        let mut round = RoundPolicy::new(&AggregationPolicy::Async { min_updates: 4 }, &schedule);
+        let stats = schedule.run(|t, ev| round.on_event(t, ev));
+        assert!(
+            stats.makespan_secs < full.makespan_secs,
+            "closing at the quorum must beat the barrier ({} !< {})",
+            stats.makespan_secs,
+            full.makespan_secs
+        );
+        assert_eq!(round.verdicts(), vec![(3, 1)], "the straggler is carried");
+    }
+
+    #[test]
+    fn shard_scoped_round_policy_ignores_outsiders() {
+        // Members 0..3 of a 5-device fleet: the shard's median ignores the
+        // outside straggler, and outsiders are never judged.
+        let (profiles, w) = straggler_fleet();
+        let schedule = EventDrivenRuntime::new(&profiles, &w);
+        let policy = AggregationPolicy::Deadline { factor: 2.0 };
+        let mut round = RoundPolicy::for_members(&policy, &schedule, Some(0..3));
+        let _stats = schedule.run(|t, ev| round.on_event(t, ev));
+        assert!(
+            round.verdicts().is_empty(),
+            "the slow device is not a member, so the shard has no stragglers"
+        );
     }
 }

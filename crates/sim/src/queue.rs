@@ -1,11 +1,14 @@
 //! Virtual time and the deterministic event queue.
 //!
 //! The simulator never reads a real clock: every event carries a
-//! [`VirtualTime`], and ties are broken by insertion sequence number, so the
-//! pop order — and therefore every statistic derived from it — is a pure
-//! function of the pushed events. This is what keeps the same-seed →
+//! [`VirtualTime`], and ties are broken by the event's own [`TieBreak`] key
+//! — (kind rank, device id) for simulation events — falling back to the
+//! insertion sequence number, so the pop order — and therefore every
+//! statistic derived from it — is a pure function of the *set* of pushed
+//! events, independent of push order. This is what keeps the same-seed →
 //! bit-identical contract of `tests/determinism.rs` intact when scenarios
-//! are enabled.
+//! are enabled, and what makes the event-driven runtime's close decisions
+//! well-defined when timestamps collide exactly.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -66,10 +69,33 @@ impl Ord for VirtualTime {
     }
 }
 
-/// One scheduled entry: `(time, seq)` orders the heap; `seq` is the push
-/// counter, so simultaneous events pop in insertion order.
+/// Deterministic ordering among events scheduled at the same virtual time.
+///
+/// The key is `(kind rank, device id)`: at a timestamp collision, events
+/// pop by ascending key, and only equal keys fall back to push order. The
+/// default key is the constant `(0, 0)` — every event ties, so plain event
+/// types keep the original FIFO semantics — while the simulator's event
+/// type overrides it, making the pop order a total function of the event
+/// *set* rather than of the order the schedule happened to be built in.
+pub trait TieBreak {
+    /// `(kind rank, device id)` — compared ascending at equal timestamps.
+    fn tie_key(&self) -> (u8, u32) {
+        (0, 0)
+    }
+}
+
+impl TieBreak for () {}
+impl TieBreak for u32 {}
+impl TieBreak for u64 {}
+impl TieBreak for usize {}
+impl TieBreak for &str {}
+
+/// One scheduled entry: `(time, key, seq)` orders the heap; `key` is the
+/// event's [`TieBreak`] key and `seq` the push counter, so simultaneous
+/// events pop by key and only equal keys pop in insertion order.
 struct Entry<E> {
     time: VirtualTime,
+    key: (u8, u32),
     seq: u64,
     event: E,
 }
@@ -94,13 +120,15 @@ impl<E> Ord for Entry<E> {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 /// A deterministic min-heap of timed events.
 ///
-/// Pops are non-decreasing in time; events at equal times pop in push order.
+/// Pops are non-decreasing in time; events at equal times pop by their
+/// [`TieBreak`] key, and equal keys pop in push order.
 #[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
@@ -137,16 +165,25 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     /// Panics if `time` is in the simulated past (before the last pop).
-    pub fn push(&mut self, time: VirtualTime, event: E) {
+    pub fn push(&mut self, time: VirtualTime, event: E)
+    where
+        E: TieBreak,
+    {
         assert!(
             time >= self.now,
             "cannot schedule into the past: {} < {}",
             time.secs(),
             self.now.secs()
         );
+        let key = event.tie_key();
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, advancing the clock to it.
@@ -208,5 +245,57 @@ mod tests {
         let t = VirtualTime::new(1.0).after(0.25);
         assert_eq!(t.secs(), 1.25);
         assert!(VirtualTime::new(1.0) < t);
+    }
+
+    /// An event type with a real tie-break key, standing in for the
+    /// simulator's `(kind rank, device id)` attribution.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Keyed(u8, u32);
+
+    impl TieBreak for Keyed {
+        fn tie_key(&self) -> (u8, u32) {
+            (self.0, self.1)
+        }
+    }
+
+    #[test]
+    fn colliding_timestamps_pop_by_kind_then_device_not_push_order() {
+        // Regression: ties used to pop in push order, so a schedule built
+        // in a different order popped differently at exact timestamp
+        // collisions. With the TieBreak key the pop order is a function of
+        // the event set alone: (kind, device) ascending, whatever the push
+        // order.
+        let t = VirtualTime::new(1.0);
+        let shuffled = [Keyed(3, 0), Keyed(0, 7), Keyed(2, 1), Keyed(0, 2)];
+        let mut forward = EventQueue::new();
+        for e in shuffled {
+            forward.push(t, e);
+        }
+        let mut reversed = EventQueue::new();
+        for e in shuffled.iter().rev() {
+            reversed.push(t, *e);
+        }
+        let want = vec![Keyed(0, 2), Keyed(0, 7), Keyed(2, 1), Keyed(3, 0)];
+        let a: Vec<Keyed> = std::iter::from_fn(|| forward.pop().map(|(_, e)| e)).collect();
+        let b: Vec<Keyed> = std::iter::from_fn(|| reversed.pop().map(|(_, e)| e)).collect();
+        assert_eq!(a, want);
+        assert_eq!(b, want, "pop order depended on push order");
+    }
+
+    #[test]
+    fn equal_keys_still_pop_fifo() {
+        // Events whose keys also collide keep the original FIFO guarantee,
+        // so the order stays total (and plain event types are unaffected).
+        let mut q = EventQueue::new();
+        let t = VirtualTime::new(2.0);
+        q.push(t, Keyed(1, 1));
+        q.push(t, Keyed(1, 1));
+        q.push(VirtualTime::new(1.0), Keyed(9, 9));
+        let order: Vec<(f64, Keyed)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.secs(), e))).collect();
+        assert_eq!(
+            order,
+            vec![(1.0, Keyed(9, 9)), (2.0, Keyed(1, 1)), (2.0, Keyed(1, 1))]
+        );
     }
 }

@@ -1,0 +1,447 @@
+//! The reusable event-driven runtime the training stack is built on.
+//!
+//! [`simulate_epoch`](crate::epoch::simulate_epoch) used to own a private
+//! event loop; this module lifts it out so any consumer — `lumos-fed`'s
+//! `Runtime`, `lumos-core`'s trainer, the bench harnesses — can subscribe a
+//! handler to the raw event stream and make decisions *at event
+//! granularity*: an aggregation policy judges each update as its landing
+//! event pops, and an asynchronous round closes the moment a quorum has
+//! landed ([`Control::CloseRound`]) instead of waiting for the global
+//! barrier.
+//!
+//! The schedule itself is static: every device's compute end, burst
+//! delivery, per-edge arrivals, and inbox drain are priced up front from
+//! its [`DeviceProfile`] and [`DeviceWork`], exactly as the lockstep
+//! simulator did (same float operations in the same order, so an
+//! uninterrupted run is bit-identical to the seed's `simulate_epoch`). The
+//! handler does not change *when* things happen — it changes what the
+//! round does about them: pool now, buffer, drop, or close.
+
+use crate::epoch::{DeviceWork, EpochStats, Inbound, SERVER_SENDER};
+use crate::profile::DeviceProfile;
+use crate::queue::{EventQueue, TieBreak, VirtualTime};
+
+/// Simulation events; each is attributed to the device that caused it.
+///
+/// This is the public face of what used to be `epoch.rs`'s private event
+/// enum: handlers subscribed through [`EventDrivenRuntime::run`] see every
+/// event as it pops, in deterministic `(time, kind, device)` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// Local compute finished.
+    ComputeDone(u32),
+    /// The last message of the device's outbound burst arrived.
+    Delivered(u32),
+    /// One sender's payload landed at one receiver (per incoming edge;
+    /// attributed to the sender, whose burst it closes at that receiver).
+    Arrived {
+        /// The sender whose burst this arrival closes.
+        from: u32,
+        /// The receiver the payload landed at.
+        to: u32,
+    },
+    /// All inbound payload drained through the downlink.
+    InboxDrained(u32),
+}
+
+impl SimEvent {
+    /// The device this event is attributed to ([`SimEvent::Arrived`] is
+    /// attributed to its sender, whose burst it closes).
+    pub fn device(&self) -> u32 {
+        match *self {
+            SimEvent::ComputeDone(d) | SimEvent::Delivered(d) | SimEvent::InboxDrained(d) => d,
+            SimEvent::Arrived { from, .. } => from,
+        }
+    }
+
+    /// Rank used to order simultaneous events of different kinds: compute
+    /// completions first, then burst deliveries, per-edge arrivals, and
+    /// inbox drains.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            SimEvent::ComputeDone(_) => 0,
+            SimEvent::Delivered(_) => 1,
+            SimEvent::Arrived { .. } => 2,
+            SimEvent::InboxDrained(_) => 3,
+        }
+    }
+}
+
+impl TieBreak for SimEvent {
+    fn tie_key(&self) -> (u8, u32) {
+        (self.kind_rank(), self.device())
+    }
+}
+
+/// A subscribed handler's verdict after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep running: the synchronous barrier (and every policy that keeps
+    /// it) never returns anything else.
+    Continue,
+    /// Close the round at this event's timestamp: remaining events are
+    /// discarded and the epoch's makespan is the close time. This is how
+    /// `AggregationPolicy::Async` retires the global barrier.
+    CloseRound,
+}
+
+/// One epoch's fully-priced event schedule, ready to run.
+///
+/// Construction performs the entire static pricing pass of the lockstep
+/// simulator — compute ends, burst barriers, per-destination drain starts,
+/// per-edge arrival fan-out — and seeds the queue with every device's
+/// `ComputeDone`. [`EventDrivenRuntime::run`] then pops events in
+/// deterministic order, forwarding each to the subscribed handler.
+pub struct EventDrivenRuntime {
+    queue: EventQueue<SimEvent>,
+    busy: Vec<f64>,
+    update_delivery: Vec<Option<f64>>,
+    delivered: Vec<Option<VirtualTime>>,
+    drain_end: Vec<Option<VirtualTime>>,
+    out_edges: Vec<Vec<u32>>,
+    bursts: Vec<bool>,
+    available: Vec<bool>,
+    active: usize,
+}
+
+impl EventDrivenRuntime {
+    /// Prices one epoch over the fleet and builds its event schedule.
+    ///
+    /// Devices with `available == false` contribute nothing (their update
+    /// is skipped this round). Under [`Inbound::Aggregate`] the schedule is
+    /// the legacy self-timed one; under [`Inbound::PerSender`] each
+    /// receiver's drain additionally waits for its senders' actual
+    /// deliveries (see `epoch.rs` for the collapse properties).
+    ///
+    /// # Panics
+    /// Panics if `profiles` and `work` have different lengths.
+    pub fn new(profiles: &[DeviceProfile], work: &[DeviceWork]) -> Self {
+        assert_eq!(
+            profiles.len(),
+            work.len(),
+            "one workload entry per device profile"
+        );
+        let n = profiles.len();
+        let mut queue: EventQueue<SimEvent> = EventQueue::new();
+        let mut busy = vec![0.0f64; n];
+        let mut update_delivery: Vec<Option<f64>> = vec![None; n];
+        // Burst barrier (compute + upload + latency) of every scheduled
+        // device; `delivered` is Some only when the device actually ships a
+        // burst.
+        let mut barrier: Vec<Option<VirtualTime>> = vec![None; n];
+        let mut delivered: Vec<Option<VirtualTime>> = vec![None; n];
+        let mut bursts = vec![false; n];
+        let mut active = 0usize;
+
+        for (d, (p, w)) in profiles.iter().zip(work).enumerate() {
+            if !p.available {
+                continue;
+            }
+            active += 1;
+            if w.is_idle() {
+                continue;
+            }
+            p.validate();
+            let compute_end = VirtualTime::new(p.compute_secs(w.compute_units));
+            queue.push(compute_end, SimEvent::ComputeDone(d as u32));
+            let upload = p.upload_secs(w.bytes_out);
+            let download = p.download_secs(w.bytes_in());
+            let burst = w.messages_out > 0 || w.bytes_out > 0;
+            bursts[d] = burst;
+            let barrier_d = compute_end.after(upload).after(p.latency_secs);
+            barrier[d] = Some(barrier_d);
+            if burst {
+                delivered[d] = Some(barrier_d);
+            }
+            update_delivery[d] = Some(if burst {
+                barrier_d.secs()
+            } else {
+                compute_end.secs()
+            });
+            // Busy time mirrors the event chain exactly (same additions in
+            // the same order, so a self-timed straggler's idle time is a
+            // bitwise 0.0): any traffic serializes upload → latency → drain
+            // after the compute. Waiting on other senders' deliveries is
+            // idle.
+            let has_traffic = burst || w.bytes_in() > 0;
+            busy[d] = if has_traffic {
+                ((compute_end.secs() + upload) + p.latency_secs) + download
+            } else {
+                compute_end.secs()
+            };
+        }
+
+        // Per-destination pass: each scheduled receiver's drain start is
+        // the max of its own barrier and its live cross-senders' delivery
+        // times; the transpose gives every sender its per-edge arrival
+        // events.
+        let mut drain_end: Vec<Option<VirtualTime>> = vec![None; n];
+        let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (d, w) in work.iter().enumerate() {
+            let Some(own_barrier) = barrier[d] else {
+                continue;
+            };
+            if w.bytes_in() == 0 {
+                continue;
+            }
+            let mut start = own_barrier;
+            if let Inbound::PerSender(list) = &w.inbound {
+                for &(s, bytes) in list {
+                    if bytes == 0 || s == d as u32 || s == SERVER_SENDER {
+                        continue;
+                    }
+                    let Some(t) = delivered.get(s as usize).copied().flatten() else {
+                        // Absent/idle/burst-less sender: its payload is
+                        // treated as staged (the overlay never blocks the
+                        // round on a device the round skipped).
+                        continue;
+                    };
+                    if t > start {
+                        start = t;
+                    }
+                    // A sender repeated in the ledger list contributes one
+                    // delivery edge, not one per occurrence: within this
+                    // receiver's loop every push into `out_edges[s]` is
+                    // `d`, so a trailing `d` means `s` was already
+                    // recorded.
+                    if out_edges[s as usize].last() != Some(&(d as u32)) {
+                        out_edges[s as usize].push(d as u32);
+                    }
+                }
+            }
+            drain_end[d] = Some(start.after(profiles[d].download_secs(w.bytes_in())));
+        }
+
+        Self {
+            queue,
+            busy,
+            update_delivery,
+            delivered,
+            drain_end,
+            out_edges,
+            bursts,
+            available: profiles.iter().map(|p| p.available).collect(),
+            active,
+        }
+    }
+
+    /// When each device's own update will land: its burst delivery time, or
+    /// its compute end when it ships nothing; `None` for absent or idle
+    /// devices. The schedule is static, so this is known before the first
+    /// event pops — it is the signal arrival-time policies precompute their
+    /// deadlines and quorums from.
+    pub fn update_delivery_secs(&self) -> &[Option<f64>] {
+        &self.update_delivery
+    }
+
+    /// Whether each device ships an outbound burst this epoch: a bursting
+    /// device's update lands at its `Delivered` event, a burst-less one's
+    /// at its `ComputeDone`.
+    pub fn ships_burst(&self) -> &[bool] {
+        &self.bursts
+    }
+
+    /// Devices that participate this epoch (available, regardless of
+    /// workload).
+    pub fn active_devices(&self) -> usize {
+        self.active
+    }
+
+    /// Runs the schedule to completion — or to the handler's
+    /// [`Control::CloseRound`] — and returns the epoch's statistics.
+    ///
+    /// The handler sees every event in deterministic `(time, kind, device)`
+    /// order. An uninterrupted run (a handler that always returns
+    /// [`Control::Continue`]) reproduces the lockstep `simulate_epoch`
+    /// bit for bit. On an early close the makespan is the closing event's
+    /// timestamp, remaining events are discarded, and per-device busy time
+    /// is clamped to the makespan so `busy + idle = makespan` still holds
+    /// for every active device.
+    pub fn run(mut self, mut handler: impl FnMut(VirtualTime, &SimEvent) -> Control) -> EpochStats {
+        let mut events = 0u64;
+        let mut straggler = None;
+        let mut makespan = VirtualTime::ZERO;
+        let mut closed = false;
+        while let Some((t, ev)) = self.queue.pop() {
+            events += 1;
+            makespan = t;
+            straggler = Some(ev.device());
+            if let SimEvent::ComputeDone(dev) = ev {
+                let d = dev as usize;
+                // Uplink: messages serialize, so the burst's last message
+                // lands one latency after the whole upload ends. Only the
+                // closing delivery plus one arrival per receiving edge are
+                // scheduled — earlier intra-burst deliveries are strictly
+                // before them and observable by nothing.
+                if let Some(time) = self.delivered[d] {
+                    self.queue.push(time, SimEvent::Delivered(dev));
+                    for &to in &self.out_edges[d] {
+                        self.queue.push(time, SimEvent::Arrived { from: dev, to });
+                    }
+                }
+                // Downlink: the drain end was priced in the per-destination
+                // pass (start >= the device's own barrier, so never in the
+                // simulated past of this handler).
+                if let Some(end) = self.drain_end[d] {
+                    self.queue.push(end, SimEvent::InboxDrained(dev));
+                }
+            }
+            if handler(t, &ev) == Control::CloseRound {
+                closed = true;
+                break;
+            }
+        }
+
+        let makespan_secs = makespan.secs();
+        let mut busy = self.busy;
+        if closed {
+            // The round closed mid-schedule: devices still mid-chain spend
+            // the remainder of their critical path in the *next* round's
+            // accounting, so their busy time here is capped at the close.
+            for (b, &avail) in busy.iter_mut().zip(&self.available) {
+                if avail && *b > makespan_secs {
+                    *b = makespan_secs;
+                }
+            }
+        }
+        let idle = self
+            .available
+            .iter()
+            .zip(&busy)
+            .map(|(&avail, &b)| {
+                if avail {
+                    // Busy is each device's serialized critical path,
+                    // computed with the exact float additions of the event
+                    // chain, and the closing drain fires at or after that
+                    // path's end — so busy can never exceed the makespan (a
+                    // clamp here once masked the missing latency term).
+                    let idle = makespan_secs - b;
+                    debug_assert!(idle >= 0.0, "busy {b} exceeds makespan {makespan_secs}");
+                    idle
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        EpochStats {
+            makespan_secs,
+            busy_secs: busy,
+            idle_secs: idle,
+            update_delivery_secs: self.update_delivery,
+            straggler,
+            active_devices: self.active,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst_work(units: f64) -> DeviceWork {
+        DeviceWork::aggregate(units, 1, 100, 0)
+    }
+
+    #[test]
+    fn uninterrupted_run_matches_the_lockstep_simulator_bitwise() {
+        let mut profiles = vec![DeviceProfile::baseline(); 4];
+        for (i, p) in profiles.iter_mut().enumerate() {
+            p.compute_rate = 80.0 / (i + 1) as f64;
+        }
+        let work: Vec<DeviceWork> = (0..4u32)
+            .map(|i| DeviceWork {
+                compute_units: 50.0 * (i + 1) as f64,
+                messages_out: 1,
+                bytes_out: 64,
+                inbound: Inbound::PerSender(vec![((i + 1) % 4, 32)]),
+            })
+            .collect();
+        let lockstep = crate::epoch::simulate_epoch(&profiles, &work);
+        let event_driven = EventDrivenRuntime::new(&profiles, &work).run(|_, _| Control::Continue);
+        assert_eq!(lockstep, event_driven);
+    }
+
+    #[test]
+    fn handler_sees_every_event_in_order() {
+        let profiles = vec![DeviceProfile::baseline(); 2];
+        let work = vec![burst_work(100.0), burst_work(200.0)];
+        let mut seen: Vec<(f64, SimEvent)> = Vec::new();
+        let stats = EventDrivenRuntime::new(&profiles, &work).run(|t, ev| {
+            seen.push((t.secs(), *ev));
+            Control::Continue
+        });
+        assert_eq!(seen.len() as u64, stats.events);
+        assert!(seen.windows(2).all(|w| w[0].0 <= w[1].0), "time went back");
+        assert_eq!(seen[0].1, SimEvent::ComputeDone(0));
+        assert_eq!(seen.last().unwrap().1, SimEvent::Delivered(1));
+    }
+
+    #[test]
+    fn close_round_discards_the_tail_and_caps_busy() {
+        // Device 1 is a 100× straggler; closing at device 0's delivery must
+        // shrink the makespan to that instant and keep busy <= makespan.
+        let mut profiles = vec![DeviceProfile::baseline(); 2];
+        profiles[1].compute_rate /= 100.0;
+        let work = vec![burst_work(100.0), burst_work(100.0)];
+        let full = EventDrivenRuntime::new(&profiles, &work).run(|_, _| Control::Continue);
+        let closed = EventDrivenRuntime::new(&profiles, &work).run(|_, ev| {
+            if *ev == SimEvent::Delivered(0) {
+                Control::CloseRound
+            } else {
+                Control::Continue
+            }
+        });
+        assert!(closed.makespan_secs < full.makespan_secs);
+        assert_eq!(closed.straggler, Some(0));
+        assert!(closed.events < full.events);
+        for d in 0..2 {
+            assert!(closed.busy_secs[d] <= closed.makespan_secs);
+            assert!(closed.idle_secs[d] >= 0.0);
+        }
+        let u = closed.mean_utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn arrived_events_name_their_receiver() {
+        let profiles = vec![DeviceProfile::baseline(); 2];
+        let work = vec![
+            DeviceWork {
+                compute_units: 100.0,
+                messages_out: 1,
+                bytes_out: 64,
+                inbound: Inbound::PerSender(vec![(1, 64)]),
+            },
+            burst_work(100.0),
+        ];
+        let mut arrivals = Vec::new();
+        EventDrivenRuntime::new(&profiles, &work).run(|_, ev| {
+            if let SimEvent::Arrived { from, to } = *ev {
+                arrivals.push((from, to));
+            }
+            Control::Continue
+        });
+        assert_eq!(arrivals, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn schedule_exposes_the_static_timing_signal() {
+        let mut profiles = vec![DeviceProfile::baseline(); 3];
+        profiles[2].available = false;
+        let work = vec![
+            burst_work(100.0),
+            DeviceWork::aggregate(100.0, 0, 0, 0),
+            burst_work(100.0),
+        ];
+        let rt = EventDrivenRuntime::new(&profiles, &work);
+        assert_eq!(rt.active_devices(), 2);
+        assert_eq!(rt.ships_burst(), &[true, false, false]);
+        let planned = rt.update_delivery_secs().to_vec();
+        assert!(planned[0].is_some() && planned[1].is_some());
+        assert_eq!(planned[2], None, "absent device has no landing");
+        // The static signal is exactly what the finished run reports.
+        let stats = rt.run(|_, _| Control::Continue);
+        assert_eq!(planned, stats.update_delivery_secs);
+    }
+}

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use lumos_common::rng::Xoshiro256pp;
 use lumos_sim::{
-    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventQueue, Inbound,
-    StalenessBuffer, VirtualTime, SERVER_SENDER, STALENESS_CAP,
+    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventDrivenRuntime, EventQueue,
+    Inbound, RoundPolicy, StalenessBuffer, VirtualTime, SERVER_SENDER, STALENESS_CAP,
 };
 
 /// Random fleet + aggregate workload of `n` devices from one seed.
@@ -298,5 +298,89 @@ proptest! {
             AggregationPolicy::Buffered { factor, decay: 0.0 }.effective(),
             deadline
         );
+    }
+
+    /// The arrival-time handler is the post-hoc policy: for any fleet and
+    /// any policy, judging updates as their landing events pop yields the
+    /// exact `(device, staleness)` pairs the finished-round computation
+    /// does. This is the seam that makes the lockstep and event-driven
+    /// trainer probes interchangeable.
+    #[test]
+    fn round_policy_verdicts_equal_the_post_hoc_cut(
+        seed in any::<u64>(), n in 1usize..32, factor in 1.0f64..4.0,
+        decay in 0.01f64..=1.0, quorum in 1usize..40
+    ) {
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let work = scatter_inbound(seed, &aggregate);
+        for policy in [
+            AggregationPolicy::FullSync,
+            AggregationPolicy::Deadline { factor },
+            AggregationPolicy::Buffered { factor, decay },
+            AggregationPolicy::Async { min_updates: quorum },
+        ] {
+            let schedule = EventDrivenRuntime::new(&profiles, &work);
+            let mut round = RoundPolicy::new(&policy, &schedule);
+            let stats = schedule.run(|t, ev| round.on_event(t, ev));
+            prop_assert_eq!(
+                round.verdicts(),
+                policy.late_with_staleness(&stats),
+                "{} handler disagreed with the post-hoc path", policy.name()
+            );
+        }
+    }
+
+    /// `Async` with a quorum the whole round fits inside never closes
+    /// early: the run is the synchronous barrier, bit for bit — the
+    /// sim-level half of the `min_updates >= n_devices` ⇒ `FullSync`
+    /// collapse.
+    #[test]
+    fn async_full_quorum_is_the_barrier_bitwise(seed in any::<u64>(), n in 1usize..32) {
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let work = scatter_inbound(seed, &aggregate);
+        let barrier = simulate_epoch(&profiles, &work);
+        let schedule = EventDrivenRuntime::new(&profiles, &work);
+        let mut round = RoundPolicy::new(
+            &AggregationPolicy::Async { min_updates: n },
+            &schedule,
+        );
+        let stats = schedule.run(|t, ev| round.on_event(t, ev));
+        prop_assert_eq!(&stats, &barrier);
+        prop_assert!(round.verdicts().is_empty(), "nobody misses a full quorum");
+    }
+
+    /// An async round closes exactly when its quorum completes: the
+    /// makespan is the quorum's latest landing time (bitwise), never the
+    /// barrier's.
+    #[test]
+    fn async_round_closes_at_the_quorum_landing(
+        seed in any::<u64>(), n in 2usize..32, quorum in 1usize..31
+    ) {
+        let (profiles, aggregate) = random_fleet(seed, n);
+        let work = scatter_inbound(seed, &aggregate);
+        let schedule = EventDrivenRuntime::new(&profiles, &work);
+        // Quorum boundary from the static signal: `min_updates`-th landing
+        // in (time, device) order.
+        let mut landings: Vec<(f64, u32)> = schedule
+            .update_delivery_secs()
+            .iter()
+            .enumerate()
+            .filter_map(|(d, t)| t.map(|t| (t, d as u32)))
+            .collect();
+        landings.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Only rounds where someone actually misses the quorum close early.
+        if quorum < landings.len() {
+            let close_at = landings[quorum - 1].0;
+            let mut round = RoundPolicy::new(
+                &AggregationPolicy::Async { min_updates: quorum },
+                &schedule,
+            );
+            let stats = schedule.run(|t, ev| round.on_event(t, ev));
+            prop_assert_eq!(
+                stats.makespan_secs.to_bits(), close_at.to_bits(),
+                "round closed at {} instead of the quorum landing {}",
+                stats.makespan_secs, close_at
+            );
+            prop_assert_eq!(round.verdicts().len(), landings.len() - quorum);
+        }
     }
 }

@@ -39,7 +39,7 @@ pub mod timing;
 pub mod topology;
 
 pub use config::TopologyConfig;
-pub use policy::shard_late_with_staleness;
+pub use policy::{shard_late_with_staleness, ShardRoundPolicies};
 pub use pooling::{pool_flat, pool_tiered};
 pub use timing::{tier_timing, TierTiming};
 pub use topology::Topology;
