@@ -1,0 +1,19 @@
+//! Chaos sweep: accuracy, makespan, and recovery counters under seeded
+//! fault injection — a message-loss × crash-rate grid plus one
+//! aggregator-outage row on the hierarchical straggler-tail fleet (full
+//! mode adds churn). Also writes the machine-readable `BENCH_chaos.json`
+//! record the CI smoke gate parses (`--json PATH` to relocate).
+use lumos_bench::{chaos, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let rows = chaos::run(&args);
+    chaos::table(&rows).print();
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_chaos.json".into());
+    let json = chaos::to_json(&rows, &args);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {path}");
+}

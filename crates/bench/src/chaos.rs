@@ -1,0 +1,407 @@
+//! Chaos sweep: accuracy, makespan, and recovery counters under seeded
+//! fault injection (PR 10).
+//!
+//! Every row replays the same straggler-tail workload on the hierarchical
+//! topology under one fault setting — message-loss and mid-round-crash
+//! rates crossed on a small grid, plus one aggregator-outage row — with
+//! the default retry/backoff recovery policy. Three claims become
+//! measurable and CI-gated:
+//!
+//! 1. the fault-free row (zero rates, no outage) is **bit-identical** to
+//!    the no-fault baseline (`baseline_match`);
+//! 2. under 10% message loss the recovery layer retries (`retries > 0`)
+//!    and never discards an update (`wasted_updates == 0` — exhausted
+//!    sends degrade into the staleness buffer);
+//! 3. the outage row re-homes its shard to the deterministic successor
+//!    (`failovers > 0`) without touching the training math.
+//!
+//! [`to_json`] renders the sweep as the machine-readable
+//! `BENCH_chaos.json` record the CI smoke gate parses.
+
+use lumos_common::table::{fmt2, Table};
+use lumos_core::{run_lumos, LumosConfig, RunReport, TaskKind};
+use lumos_data::Dataset;
+use lumos_gnn::Backbone;
+use lumos_sim::{FaultSpec, OutageWindow, Scenario};
+use lumos_topo::TopologyConfig;
+
+use crate::args::HarnessArgs;
+use crate::presets::{mcmc_iterations_for, run_pair};
+
+/// Aggregator fan-in of the sweep's hierarchical topology.
+pub const AGGREGATORS: usize = 4;
+
+/// The loss × crash grid every scenario sweeps (rates as probabilities).
+pub const FAULT_GRID: [(f64, f64); 4] = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.05), (0.1, 0.05)];
+
+/// The outage row's window: aggregator 1 is dark for rounds 1 and 2.
+pub const OUTAGE: OutageWindow = OutageWindow {
+    aggregator: 1,
+    from_round: 1,
+    until_round: 3,
+};
+
+/// One fault setting's outcome: what the fleet learned, what it cost, and
+/// what the recovery layer did about the injected faults.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Device scenario.
+    pub scenario: Scenario,
+    /// Per-attempt message-loss probability injected this row.
+    pub loss_rate: f64,
+    /// Per-device-round mid-round crash probability injected this row.
+    pub crash_rate: f64,
+    /// Whether this row injects the aggregator outage window ([`OUTAGE`]).
+    pub outage: bool,
+    /// Test accuracy the run converged to.
+    pub accuracy: f64,
+    /// Simulated seconds per epoch (backoff waits included).
+    pub makespan: f64,
+    /// Upload attempts the network lost (initial sends and retries).
+    pub lost_messages: u64,
+    /// Re-sends the recovery policy scheduled.
+    pub retries: u64,
+    /// Simulated seconds spent waiting out backoff before re-sends.
+    pub retry_secs: f64,
+    /// Device-rounds lost to injected mid-round crashes.
+    pub crashed_devices: u64,
+    /// Shard-rounds served by a failover successor during the outage.
+    pub failovers: u64,
+    /// Updates banked in the staleness buffer (exhausted sends degrade
+    /// here instead of vanishing).
+    pub buffered_updates: u64,
+    /// Updates discarded forever — zero by construction (recovery defers,
+    /// never drops), asserted by the CI smoke gate.
+    pub wasted_updates: u64,
+    /// Whether this row's report is bit-identical to the no-fault
+    /// baseline. True exactly on the fault-free row; the CI smoke gate
+    /// asserts it.
+    pub baseline_match: bool,
+}
+
+/// Epochs per measurement: recovery statistics stabilize quickly and do
+/// not depend on convergence. Quick mode halves the window for CI smoke.
+fn chaos_epochs(quick: bool) -> usize {
+    if quick {
+        4
+    } else {
+        8
+    }
+}
+
+fn base_config(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> LumosConfig {
+    LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+        .with_epochs(chaos_epochs(args.quick))
+        .with_mcmc_iterations(mcmc_iterations_for(args.scale, &ds.name))
+        .with_seed(args.seed)
+        .with_scenario(scenario)
+        .with_topology(TopologyConfig::Hierarchical {
+            aggregators: AGGREGATORS,
+        })
+}
+
+/// Every deterministic field of the two reports, bitwise — the
+/// `baseline_match` predicate.
+fn reports_identical(a: &RunReport, b: &RunReport) -> bool {
+    a.test_metric.to_bits() == b.test_metric.to_bits()
+        && a.final_loss().to_bits() == b.final_loss().to_bits()
+        && a.avg_messages_per_device_per_epoch.to_bits()
+            == b.avg_messages_per_device_per_epoch.to_bits()
+        && a.sim == b.sim
+}
+
+fn eval_row(
+    ds: &Dataset,
+    scenario: Scenario,
+    loss_rate: f64,
+    crash_rate: f64,
+    outage: bool,
+    baseline: &RunReport,
+    args: &HarnessArgs,
+) -> ChaosRow {
+    let outages = if outage { vec![OUTAGE] } else { vec![] };
+    let cfg = base_config(ds, scenario, args).with_faults(FaultSpec::Faults {
+        crash_rate,
+        loss_rate,
+        duplicate_rate: 0.0,
+        outages,
+    });
+    let report = run_lumos(ds, &cfg);
+    let baseline_match = reports_identical(baseline, &report);
+    let sim = report
+        .sim
+        .expect("scenario configs always produce a sim summary");
+    ChaosRow {
+        dataset: ds.name.clone(),
+        scenario,
+        loss_rate,
+        crash_rate,
+        outage,
+        accuracy: report.test_metric,
+        makespan: sim.avg_epoch_virtual_secs,
+        lost_messages: sim.lost_messages,
+        retries: sim.retries,
+        retry_secs: sim.retry_secs,
+        crashed_devices: sim.crashed_devices,
+        failovers: sim.failovers,
+        buffered_updates: sim.buffered_updates,
+        wasted_updates: sim.wasted_updates,
+        baseline_match,
+    }
+}
+
+fn eval_scenario(ds: &Dataset, scenario: Scenario, args: &HarnessArgs) -> Vec<ChaosRow> {
+    // The no-fault baseline every row's `baseline_match` compares against:
+    // the exact seed path, `FaultSpec::None`.
+    let baseline = run_lumos(ds, &base_config(ds, scenario, args));
+    let mut rows = Vec::with_capacity(FAULT_GRID.len() + 1);
+    for pair in FAULT_GRID.chunks(2) {
+        match *pair {
+            [(l, c)] => rows.push(eval_row(ds, scenario, l, c, false, &baseline, args)),
+            [(l0, c0), (l1, c1)] => {
+                let (a, b) = run_pair(
+                    || eval_row(ds, scenario, l0, c0, false, &baseline, args),
+                    || eval_row(ds, scenario, l1, c1, false, &baseline, args),
+                );
+                rows.push(a);
+                rows.push(b);
+            }
+            _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+        }
+    }
+    rows.push(eval_row(ds, scenario, 0.0, 0.0, true, &baseline, args));
+    rows
+}
+
+/// Runs the chaos sweep on the primary dataset. Quick mode restricts the
+/// sweep to the straggler tail (the fleet the CI smoke gate asserts on);
+/// full mode adds churn, where injected faults compound natural absence.
+pub fn run(args: &HarnessArgs) -> Vec<ChaosRow> {
+    let ds = Dataset::facebook_like(args.scale);
+    let scenarios: &[Scenario] = if args.quick {
+        &[Scenario::StragglerTail]
+    } else {
+        &[Scenario::StragglerTail, Scenario::Churn]
+    };
+    scenarios
+        .iter()
+        .flat_map(|&s| eval_scenario(&ds, s, args))
+        .collect()
+}
+
+/// Renders the sweep as one table row per fault setting.
+pub fn table(rows: &[ChaosRow]) -> Table {
+    let mut t = Table::new(
+        "Chaos sweep: accuracy × makespan × recovery counters under seeded fault injection",
+        &[
+            "dataset",
+            "scenario",
+            "loss",
+            "crash",
+            "outage",
+            "accuracy",
+            "epoch secs",
+            "lost",
+            "retries",
+            "retry secs",
+            "crashed",
+            "failovers",
+            "buffered",
+            "wasted",
+            "baseline match",
+        ],
+    );
+    for r in rows {
+        t.push_row([
+            r.dataset.clone(),
+            r.scenario.name().to_string(),
+            fmt2(r.loss_rate),
+            fmt2(r.crash_rate),
+            r.outage.to_string(),
+            fmt2(r.accuracy),
+            fmt2(r.makespan),
+            r.lost_messages.to_string(),
+            r.retries.to_string(),
+            fmt2(r.retry_secs),
+            r.crashed_devices.to_string(),
+            r.failovers.to_string(),
+            r.buffered_updates.to_string(),
+            r.wasted_updates.to_string(),
+            r.baseline_match.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A finite `f64` as a JSON number (`null` for NaN/∞, which JSON lacks).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A string as a JSON string literal (names here are ASCII identifiers;
+/// escape the two characters that could break the quoting anyway).
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Renders the sweep as the machine-readable `BENCH_chaos.json` document
+/// the CI smoke gate parses: one record per fault setting with the
+/// injected rates, the learning outcome, and every recovery counter,
+/// keyed by scale and seed so chaos runs can be diffed run to run.
+pub fn to_json(rows: &[ChaosRow], args: &HarnessArgs) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"chaos_sweep\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", json_str(args.scale.name())));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"quick\": {},\n", args.quick));
+    out.push_str("  \"rows\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"dataset\": {},\n",
+                    "      \"scenario\": {},\n",
+                    "      \"loss_rate\": {},\n",
+                    "      \"crash_rate\": {},\n",
+                    "      \"outage\": {},\n",
+                    "      \"accuracy\": {},\n",
+                    "      \"makespan\": {},\n",
+                    "      \"lost_messages\": {},\n",
+                    "      \"retries\": {},\n",
+                    "      \"retry_secs\": {},\n",
+                    "      \"crashed_devices\": {},\n",
+                    "      \"failovers\": {},\n",
+                    "      \"buffered_updates\": {},\n",
+                    "      \"wasted_updates\": {},\n",
+                    "      \"baseline_match\": {}\n",
+                    "    }}"
+                ),
+                json_str(&r.dataset),
+                json_str(r.scenario.name()),
+                json_num(r.loss_rate),
+                json_num(r.crash_rate),
+                r.outage,
+                json_num(r.accuracy),
+                json_num(r.makespan),
+                r.lost_messages,
+                r.retries,
+                json_num(r.retry_secs),
+                r.crashed_devices,
+                r.failovers,
+                r.buffered_updates,
+                r.wasted_updates,
+                r.baseline_match,
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_data::Scale;
+
+    fn smoke_args() -> HarnessArgs {
+        HarnessArgs {
+            scale: Scale::Smoke,
+            seed: 8,
+            quick: true,
+            json: None,
+            sensitivity: false,
+        }
+    }
+
+    #[test]
+    fn quick_sweep_carries_the_three_gated_claims() {
+        let args = smoke_args();
+        let rows = run(&args);
+        // Quick mode: the 2×2 grid plus the outage row, straggler tail only.
+        assert_eq!(rows.len(), FAULT_GRID.len() + 1);
+        // Claim 1: the fault-free row reproduces the baseline bit for bit —
+        // and it is the only row that does.
+        for r in &rows {
+            let fault_free = r.loss_rate == 0.0 && r.crash_rate == 0.0 && !r.outage;
+            assert_eq!(
+                r.baseline_match, fault_free,
+                "baseline_match must hold exactly on the fault-free row: {r:?}"
+            );
+        }
+        // Claim 2: under 10% loss the recovery layer retries and never
+        // discards an update.
+        for r in rows.iter().filter(|r| r.loss_rate > 0.0) {
+            assert!(r.lost_messages > 0, "injected loss must fire: {r:?}");
+            assert!(r.retries > 0, "lost sends must be retried: {r:?}");
+            assert!(r.retry_secs > 0.0, "backoff waits must be priced: {r:?}");
+            assert_eq!(r.wasted_updates, 0, "recovery never discards: {r:?}");
+        }
+        // Claim 3: the outage row re-homes its shard without touching the
+        // training math (same accuracy as the fault-free row).
+        let outage = rows.iter().find(|r| r.outage).expect("outage row");
+        let calm = rows
+            .iter()
+            .find(|r| r.baseline_match)
+            .expect("fault-free row");
+        assert_eq!(outage.failovers, 2, "one re-homed shard, rounds 1 and 2");
+        assert_eq!(outage.accuracy.to_bits(), calm.accuracy.to_bits());
+        // Crash rows must record their device-rounds.
+        assert!(
+            rows.iter()
+                .any(|r| r.crash_rate > 0.0 && r.crashed_devices > 0),
+            "5% crash over the fleet should fire at least once"
+        );
+        assert_eq!(table(&rows).len(), rows.len());
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let args = smoke_args();
+        let rows = vec![ChaosRow {
+            dataset: "facebook-smoke".into(),
+            scenario: Scenario::StragglerTail,
+            loss_rate: 0.1,
+            crash_rate: 0.05,
+            outage: false,
+            accuracy: 0.61,
+            makespan: 12.75,
+            lost_messages: 40,
+            retries: 37,
+            retry_secs: 18.5,
+            crashed_devices: 3,
+            failovers: 0,
+            buffered_updates: 9,
+            wasted_updates: 0,
+            baseline_match: false,
+        }];
+        let json = to_json(&rows, &args);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"chaos_sweep\""));
+        assert!(json.contains("\"scenario\": \"straggler-tail\""));
+        assert!(json.contains("\"loss_rate\": 0.1"));
+        assert!(json.contains("\"crash_rate\": 0.05"));
+        assert!(json.contains("\"outage\": false"));
+        assert!(json.contains("\"lost_messages\": 40"));
+        assert!(json.contains("\"retries\": 37"));
+        assert!(json.contains("\"retry_secs\": 18.5"));
+        assert!(json.contains("\"crashed_devices\": 3"));
+        assert!(json.contains("\"failovers\": 0"));
+        assert!(json.contains("\"wasted_updates\": 0"));
+        assert!(json.contains("\"baseline_match\": false"));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -2,7 +2,7 @@
 
 use lumos_balance::{BalanceObjective, CompareBackend, SecurityMode};
 use lumos_gnn::Backbone;
-use lumos_sim::{AggregationPolicy, Scenario};
+use lumos_sim::{AggregationPolicy, FaultSpec, RecoveryPolicy, Scenario};
 use lumos_topo::TopologyConfig;
 
 /// Learning task (§VIII-B).
@@ -114,6 +114,19 @@ pub struct LumosConfig {
     pub rebalance_threshold: f64,
     /// Consecutive overpriced rounds required before migrating.
     pub rebalance_patience: u32,
+    /// Seeded fault injection: the default `FaultSpec::None` injects
+    /// nothing and leaves every code path bit-identical to the seed.
+    /// `FaultSpec::Faults { .. }` compiles a deterministic per-round
+    /// [`lumos_sim::FaultPlan`] (mid-round crashes, message loss/
+    /// duplication, aggregator outage windows) from its own RNG stream.
+    /// Needs a `scenario` — the fault plan rides on the fleet profiles —
+    /// and is inert without one.
+    pub faults: FaultSpec,
+    /// How lost sends recover: per-send timeout, exponential backoff with
+    /// seeded jitter, and a retry budget. Sends that exhaust the budget
+    /// degrade into the buffered-staleness path instead of vanishing.
+    /// Only consulted when `faults` is set.
+    pub recovery: RecoveryPolicy,
     /// Debug escape hatch: probe each round's lateness with the retired
     /// lockstep path (`simulate_epoch` + post-hoc `late_with_staleness`)
     /// instead of subscribing a [`lumos_sim::RoundPolicy`] to the live
@@ -155,6 +168,8 @@ impl LumosConfig {
             topology: TopologyConfig::Flat,
             rebalance_threshold: 2.0,
             rebalance_patience: 2,
+            faults: FaultSpec::None,
+            recovery: RecoveryPolicy::default(),
             lockstep_runtime: false,
         }
     }
@@ -255,6 +270,26 @@ impl LumosConfig {
         self
     }
 
+    /// Builder-style: enable seeded fault injection. `FaultSpec::None`
+    /// (the default) is bit-identical to the seed path; anything else
+    /// needs a `scenario` to ride on.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec (a rate outside `[0, 1]`, an empty
+    /// outage window) at configuration time rather than mid-training.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        faults.validate();
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: set the retry/backoff recovery policy applied to
+    /// injected message loss.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Builder-style: probe round lateness with the retired lockstep path
     /// instead of the live event-driven handlers (bisection aid only —
     /// the two are bit-identical by construction).
@@ -280,6 +315,8 @@ mod tests {
         assert_eq!(c.topology, TopologyConfig::Flat);
         assert_eq!(c.rebalance_threshold, 2.0);
         assert_eq!(c.rebalance_patience, 2);
+        assert!(c.faults.is_none(), "faults are strictly opt-in");
+        assert_eq!(c.recovery, RecoveryPolicy::default());
         assert!(!c.lockstep_runtime, "event-driven is the default runtime");
         assert_eq!(TaskKind::Supervised.metric_name(), "accuracy");
         assert_eq!(TaskKind::Unsupervised.metric_name(), "roc-auc");
@@ -347,6 +384,25 @@ mod tests {
         assert_eq!(c.topology, TopologyConfig::Hierarchical { aggregators: 4 });
         assert_eq!(c.rebalance_threshold, 3.0);
         assert_eq!(c.rebalance_patience, 5);
+    }
+
+    #[test]
+    fn fault_builders_apply() {
+        let c = LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+            .with_faults(FaultSpec::message_loss(0.1))
+            .with_recovery(RecoveryPolicy {
+                retry_budget: 7,
+                ..RecoveryPolicy::default()
+            });
+        assert!(!c.faults.is_none());
+        assert_eq!(c.recovery.retry_budget, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_loss_rate_fails_at_configuration_time() {
+        LumosConfig::new(Backbone::Gcn, TaskKind::Supervised)
+            .with_faults(FaultSpec::message_loss(1.5));
     }
 
     #[test]

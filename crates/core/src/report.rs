@@ -78,6 +78,22 @@ pub struct SimSummary {
     pub migrations: u64,
     /// Tree nodes moved off overloaded devices across all migrations.
     pub migrated_nodes: u64,
+    /// Injected message losses across the run — every lost transmission
+    /// attempt, including each retry that was itself lost (0 without a
+    /// `FaultSpec`).
+    pub lost_messages: u64,
+    /// Retransmissions scheduled by the recovery policy.
+    pub retries: u64,
+    /// Virtual seconds spent waiting in timeout + backoff + jitter before
+    /// retransmitting.
+    pub retry_secs: f64,
+    /// Devices that crashed mid-round across the run (device-rounds; the
+    /// same device crashing twice counts twice).
+    pub crashed_devices: u64,
+    /// Aggregator failovers: shard-rounds served by a successor
+    /// aggregator because the home aggregator was inside an outage
+    /// window.
+    pub failovers: u64,
 }
 
 impl SimSummary {

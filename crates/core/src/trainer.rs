@@ -20,8 +20,8 @@ use lumos_graph::Graph;
 use lumos_tensor::{Adam, ParamStore, Tape, VarId};
 
 use lumos_sim::{
-    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventDrivenRuntime, RoundPolicy,
-    ScenarioState, StalenessBuffer,
+    simulate_epoch, AggregationPolicy, DeviceProfile, DeviceWork, EventDrivenRuntime, FaultState,
+    RoundPolicy, ScenarioState, StalenessBuffer,
 };
 use lumos_topo::{shard_late_with_staleness, ShardRoundPolicies, Topology};
 
@@ -210,8 +210,19 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         AggregationPolicy::Async { min_updates } => Some(min_updates),
         _ => None,
     };
-    let buffering = buffered_decay.is_some() && scenario.is_some();
-    let mut staleness_buffer = StalenessBuffer::new(buffered_decay.unwrap_or(0.0));
+    // Seeded fault injection (strictly opt-in): the fault stream draws
+    // from its own domain-separated RNG, so enabling it never perturbs
+    // the trainer's or the fleet's stochastic streams — and it is inert
+    // without a scenario, because there are no profiles to crash or
+    // delay against. Fault recovery rides the buffering machinery even
+    // under a non-buffering policy: an upload that exhausts its retry
+    // budget degrades into the staleness buffer at full weight and
+    // arrives one round late, instead of vanishing.
+    let mut faults: Option<FaultState> = (!cfg.faults.is_none() && scenario.is_some())
+        .then(|| FaultState::new(cfg.faults.clone(), cfg.recovery, cfg.seed));
+    let policy_buffering = buffered_decay.is_some() && scenario.is_some();
+    let buffering = policy_buffering || faults.is_some();
+    let mut staleness_buffer = StalenessBuffer::new(buffered_decay.unwrap_or(1.0));
     let mut streaks: Vec<u32> = vec![0; n];
     let mut migrations = 0u64;
     let mut migrated_nodes = 0u64;
@@ -266,11 +277,48 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
             runtime.set_profiles(state.profiles().to_vec());
         }
         runtime.begin_epoch();
+        // Compile this round's fault outcomes before any traffic lands on
+        // the ledger: who crashes mid-round, whose upload exhausts its
+        // retry budget, and which aggregators sit inside an outage window
+        // (their shards re-home to the deterministic cyclic successor for
+        // the whole round — ledger routing and tier timing alike).
+        let round_plan = match (&mut faults, &scenario) {
+            (Some(fstate), Some(state)) => {
+                if let Some(topo) = &topology {
+                    let outaged = fstate.outaged_aggregators(topo.num_aggregators());
+                    let rehome = (!outaged.is_empty()).then(|| topo.failover_map(&outaged));
+                    if let Some(map) = &rehome {
+                        let served = map
+                            .iter()
+                            .enumerate()
+                            .filter(|&(k, &t)| t as usize != k)
+                            .count();
+                        fstate.note_failovers(served as u64);
+                    }
+                    runtime.network.set_rehome(rehome.clone());
+                    runtime.set_failover(rehome);
+                }
+                Some(fstate.compile_round(state.profiles()))
+            }
+            _ => None,
+        };
+        // Crashed devices lose the round entirely — their update never
+        // forms, like churn. Exhausted uploads survive: parked in the
+        // staleness buffer, they arrive next round instead.
+        let (crashed, exhausted) = match (&round_plan, &scenario) {
+            (Some(plan), Some(state)) => {
+                let avail: Vec<bool> = state.profiles().iter().map(|p| p.available).collect();
+                (plan.crashed_devices(&avail), plan.exhausted_uploads(&avail))
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
         if buffering {
             // Deferred protocol traffic from earlier rounds' late devices
             // lands in this epoch's ledger window — accounted in the round
             // where it arrives, not the round where it was cut.
             runtime.carry_in();
+        }
+        if policy_buffering {
             // Live re-balancing: price the fleet as it stands (churn-absent
             // devices cost UNAVAILABLE_COST_FACTOR× their nominal rate) and
             // migrate tree nodes off devices whose per-node price stayed
@@ -328,9 +376,12 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         // their arrival round under `Buffered`.
         let late_staleness: Vec<(u32, u32)> = match (&work_template, &scenario) {
             (Some(template), Some(state)) => {
-                let stale = probe_cache
-                    .as_ref()
-                    .is_none_or(|(fleet, _)| fleet.as_slice() != state.profiles());
+                // A fault plan changes every round even on a frozen
+                // fleet, so the memo only holds on fault-free rounds.
+                let stale = round_plan.is_some()
+                    || probe_cache
+                        .as_ref()
+                        .is_none_or(|(fleet, _)| fleet.as_slice() != state.profiles());
                 if stale {
                     // The round's decisions happen at event granularity:
                     // the policy's arrival-time handlers subscribe to the
@@ -340,14 +391,21 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
                     // median). The retired lockstep probe survives as a
                     // bisection aid behind `cfg.lockstep_runtime` — both
                     // paths are bit-identical by construction.
-                    let lates = if cfg.lockstep_runtime {
+                    // The lockstep probe predates fault injection and
+                    // cannot see a plan; faulted rounds always run the
+                    // event-driven path.
+                    let lates = if cfg.lockstep_runtime && round_plan.is_none() {
                         let timing = simulate_epoch(state.profiles(), template);
                         match &topology {
                             Some(topo) => shard_late_with_staleness(&policy, &timing, topo),
                             None => policy.late_with_staleness(&timing),
                         }
                     } else {
-                        let schedule = EventDrivenRuntime::new(state.profiles(), template);
+                        let schedule = EventDrivenRuntime::new_with_faults(
+                            state.profiles(),
+                            template,
+                            round_plan.as_ref(),
+                        );
                         match &topology {
                             Some(topo) => {
                                 let mut shards = ShardRoundPolicies::new(&policy, &schedule, topo);
@@ -388,10 +446,10 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
             // sender is late or absent again (the update already landed).
             let arrivals = staleness_buffer.advance(n);
             let mut weights = vec![1.0f32; n];
-            for &d in &absent {
+            for &d in absent.iter().chain(&crashed) {
                 weights[d as usize] = 0.0;
             }
-            for &d in &late {
+            for &d in late.iter().chain(&exhausted) {
                 weights[d as usize] = 0.0;
             }
             for (d, w) in arrivals.iter().enumerate() {
@@ -460,13 +518,25 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
         // buffered policy the late devices' silenced sends are collected
         // and re-injected `staleness` rounds later by `carry_in`.
         let mut late_sends: Vec<(u32, u32, u64)> = Vec::new();
+        // Crashed devices lose the round outright — like churn, they send
+        // nothing now or later. Exhausted uploads are parked: silenced on
+        // this round's ledger but captured for re-injection one round
+        // later. Policy-late devices park only when the policy buffers;
+        // the deadline policy genuinely drops them even under faults.
+        let mut dropped_now: Vec<u32> = absent.iter().chain(&crashed).copied().collect();
+        let mut parked: Vec<u32> = exhausted.clone();
+        if policy_buffering {
+            parked.extend(late.iter().copied());
+        } else {
+            dropped_now.extend(late.iter().copied());
+        }
         record_epoch_messages(
             &trees,
             cfg,
             &mut runtime.network,
             edge_split.as_ref(),
-            &late,
-            &absent,
+            &parked,
+            &dropped_now,
             if buffering {
                 Some(&mut late_sends)
             } else {
@@ -475,16 +545,33 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
             topology.as_ref(),
         );
         if buffering {
-            for &(d, s) in &late_staleness {
-                staleness_buffer.push(d, s);
+            if policy_buffering {
+                for &(d, s) in &late_staleness {
+                    staleness_buffer.push(d, s);
+                    let sends: Vec<(u32, u32, u64)> = late_sends
+                        .iter()
+                        .filter(|&&(from, _, _)| from == d)
+                        .copied()
+                        .collect();
+                    runtime.defer_sends(s, sends);
+                }
+            }
+            // A send that ran out its retry budget degrades — it arrives
+            // one round late (modulo the policy's staleness decay) — but
+            // never disappears.
+            for &d in &exhausted {
+                staleness_buffer.push(d, 1);
                 let sends: Vec<(u32, u32, u64)> = late_sends
                     .iter()
                     .filter(|&&(from, _, _)| from == d)
                     .copied()
                     .collect();
-                runtime.defer_sends(s, sends);
+                runtime.defer_sends(1, sends);
             }
         }
+        // Hand the plan to the runtime so the epoch's own simulation
+        // replays the same crashes and retry chains the probe saw.
+        runtime.set_fault_plan(round_plan);
         match async_min {
             // The async quorum: the epoch record's simulation closes the
             // round at the `min_updates`-th landing, the overflow rides
@@ -550,6 +637,10 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
     report.avg_epoch_secs = runtime.avg_epoch_wall_secs();
     report.avg_epoch_makespan = runtime.avg_epoch_makespan();
     if let Some(state) = &scenario {
+        let recovery = faults
+            .as_ref()
+            .map(|f| f.counters().clone())
+            .unwrap_or_default();
         report.sim = Some(SimSummary {
             scenario: state.scenario().name().to_string(),
             total_virtual_secs: runtime.total_sim_secs(),
@@ -563,9 +654,20 @@ pub fn run_lumos(ds: &Dataset, cfg: &LumosConfig) -> RunReport {
             } else {
                 0
             },
-            wasted_updates: if buffering { 0 } else { runtime.late_drops() },
+            // The deadline policy wastes its cuts even when fault
+            // recovery has the buffering machinery switched on.
+            wasted_updates: if policy_buffering {
+                0
+            } else {
+                runtime.late_drops()
+            },
             migrations,
             migrated_nodes,
+            lost_messages: recovery.lost_messages,
+            retries: recovery.retries,
+            retry_secs: recovery.retry_secs,
+            crashed_devices: recovery.crashed_devices,
+            failovers: recovery.failovers,
         });
     }
     report
@@ -794,6 +896,12 @@ fn record_epoch_messages(
                 net.send_to_aggregator(v, EMBEDDING_BYTES);
             }
             for shard in 0..topo.num_aggregators() as u32 {
+                // An outage-covered aggregator ships nothing: its members
+                // were re-homed to the successor, whose own (merged)
+                // partial is sent above.
+                if net.rehome_target(shard) != shard {
+                    continue;
+                }
                 net.send_aggregator_to_server(shard, EMBEDDING_BYTES);
             }
         }

@@ -28,6 +28,10 @@ struct ShardLedger {
     up: Vec<EdgeTraffic>,
     /// Aggregator → server traffic per shard.
     down: Vec<EdgeTraffic>,
+    /// Failover routing for the current round: `rehome[k]` is the
+    /// aggregator actually serving shard `k` (`Topology::failover_map`
+    /// output). `None` — the default — routes every shard to itself.
+    rehome: Option<Vec<u32>>,
 }
 
 /// Per-device communication tallies.
@@ -105,8 +109,42 @@ impl SimNetwork {
             shard_of,
             up: vec![EdgeTraffic::default(); aggregators],
             down: vec![EdgeTraffic::default(); aggregators],
+            rehome: None,
         });
         net
+    }
+
+    /// Installs (or clears) the round's failover routing. With a map in
+    /// place, [`SimNetwork::send_to_aggregator`] tallies each upload on
+    /// the aggregator actually serving the sender's shard, so an outaged
+    /// aggregator's ledger stays flat while its successor absorbs the
+    /// traffic.
+    ///
+    /// # Panics
+    /// Panics in flat mode, or if the map's length disagrees with the
+    /// aggregator count.
+    pub fn set_rehome(&mut self, rehome: Option<Vec<u32>>) {
+        let s = self
+            .sharded
+            .as_mut()
+            .expect("set_rehome requires a sharded network");
+        if let Some(map) = &rehome {
+            assert_eq!(
+                map.len(),
+                s.up.len(),
+                "failover map and ledger disagree on aggregator count"
+            );
+        }
+        s.rehome = rehome;
+    }
+
+    /// The aggregator actually serving `shard` this round (itself unless
+    /// a failover map re-homes it).
+    pub fn rehome_target(&self, shard: u32) -> u32 {
+        self.sharded
+            .as_ref()
+            .and_then(|s| s.rehome.as_ref())
+            .map_or(shard, |map| map[shard as usize])
     }
 
     /// Number of devices.
@@ -175,7 +213,9 @@ impl SimNetwork {
                 .sharded
                 .as_ref()
                 .expect("send_to_aggregator requires a sharded network");
-            s.shard_of[from as usize] as usize
+            let home = s.shard_of[from as usize];
+            // Under failover the upload lands at the shard's successor.
+            s.rehome.as_ref().map_or(home, |map| map[home as usize]) as usize
         };
         let d = &mut self.devices[from as usize];
         d.sent += 1;
@@ -499,6 +539,40 @@ mod tests {
     #[should_panic(expected = "requires a sharded network")]
     fn aggregator_send_requires_sharded_mode() {
         SimNetwork::new(2).send_to_aggregator(0, 8);
+    }
+
+    #[test]
+    fn failover_routes_uploads_to_the_successor_aggregator() {
+        let mut net = SimNetwork::new_sharded(vec![0, 0, 1, 1]);
+        // Aggregator 0 is down: shard 0's uploads land on aggregator 1.
+        net.set_rehome(Some(vec![1, 1]));
+        assert_eq!(net.rehome_target(0), 1);
+        assert_eq!(net.rehome_target(1), 1);
+        for d in 0..4 {
+            net.send_to_aggregator(d, 64);
+        }
+        assert_eq!(net.shard_up(0), EdgeTraffic::default());
+        assert_eq!(
+            net.shard_up(1),
+            EdgeTraffic {
+                messages: 4,
+                bytes: 256
+            }
+        );
+        // Senders still pay full price for their uploads.
+        assert_eq!(net.device(0).sent, 1);
+        assert_eq!(net.device(0).bytes_sent, 64);
+        // Clearing the map restores home routing.
+        net.set_rehome(None);
+        assert_eq!(net.rehome_target(0), 0);
+        net.send_to_aggregator(0, 64);
+        assert_eq!(net.shard_up(0).messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on aggregator count")]
+    fn mis_sized_failover_map_panics() {
+        SimNetwork::new_sharded(vec![0, 1]).set_rehome(Some(vec![0]));
     }
 
     #[test]

@@ -10,10 +10,10 @@
 
 use lumos_common::timer::Stopwatch;
 use lumos_sim::{
-    AggregationPolicy, Control, DeviceProfile, DeviceWork, EpochStats, EventDrivenRuntime, Inbound,
-    RoundPolicy,
+    AggregationPolicy, Control, DeviceProfile, DeviceWork, EpochStats, EventDrivenRuntime,
+    FaultPlan, Inbound, RoundPolicy,
 };
-use lumos_topo::{tier_timing, Topology};
+use lumos_topo::{tier_timing, tier_timing_failover, Topology};
 
 use crate::clock::{epoch_makespan, epoch_mean_cost, CostModel, EpochTiming};
 use crate::network::{NetworkSnapshot, SimNetwork};
@@ -148,6 +148,13 @@ pub struct Runtime {
     deferred: Vec<DeferredSends>,
     tier: Option<TierSpec>,
     tier2_secs: f64,
+    /// The compiled fault outcomes of the round being closed; consumed
+    /// (taken) by the next `close_epoch`. `None` — the default — prices
+    /// a fault-free round, bit-identical to the seed.
+    fault_plan: Option<FaultPlan>,
+    /// The round's aggregator failover map (`Topology::failover_map`
+    /// output); `None` routes every shard to itself.
+    rehome: Option<Vec<u32>>,
 }
 
 impl Runtime {
@@ -164,7 +171,25 @@ impl Runtime {
             deferred: Vec::new(),
             tier: None,
             tier2_secs: 0.0,
+            fault_plan: None,
+            rehome: None,
         }
+    }
+
+    /// Installs the current round's compiled fault outcomes. The plan is
+    /// consumed by the next epoch close — callers compile one plan per
+    /// round, so a stale plan can never leak into a later round.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Installs (or clears) the round's aggregator failover map: when
+    /// present, tier-2 timing folds each outaged shard's members into
+    /// their successor aggregator ([`tier_timing_failover`]). Keep it in
+    /// sync with [`SimNetwork::set_rehome`] so timing and the ledger
+    /// agree on who served the round.
+    pub fn set_failover(&mut self, rehome: Option<Vec<u32>>) {
+        self.rehome = rehome;
     }
 
     /// Installs the aggregator tier: subsequent profiled epochs compose
@@ -352,16 +377,17 @@ impl Runtime {
             .collect();
         let total_messages = self.network.total_messages() - snap.total_messages;
         let n = self.network.num_devices().max(1) as f64;
+        let plan = self.fault_plan.take();
         let mut sim = self.profiles.as_ref().map(|profiles| {
             let work = ledger_work(&self.network, &snap, device_tree_nodes, layers);
             let schedule = if late.is_empty() {
-                EventDrivenRuntime::new(profiles, &work)
+                EventDrivenRuntime::new_with_faults(profiles, &work, plan.as_ref())
             } else {
                 let mut overlay = profiles.clone();
                 for &d in late {
                     overlay[d as usize].available = false;
                 }
-                EventDrivenRuntime::new(&overlay, &work)
+                EventDrivenRuntime::new_with_faults(&overlay, &work, plan.as_ref())
             };
             match quorum {
                 Some(min_updates) => {
@@ -375,8 +401,18 @@ impl Runtime {
         if let (Some(stats), Some(tier)) = (sim.as_mut(), self.tier.as_ref()) {
             // Hierarchical: the round closes when the last aggregator
             // partial lands at the server, not when the last device-tier
-            // event fires.
-            let t2 = tier_timing(stats, &tier.topology, &tier.aggregator, tier.partial_bytes);
+            // event fires. Under an aggregator outage the re-homed shards
+            // fold into their successors before the hop is priced.
+            let t2 = match self.rehome.as_ref() {
+                Some(map) => tier_timing_failover(
+                    stats,
+                    &tier.topology,
+                    &tier.aggregator,
+                    tier.partial_bytes,
+                    map,
+                ),
+                None => tier_timing(stats, &tier.topology, &tier.aggregator, tier.partial_bytes),
+            };
             let extended = stats.makespan_secs.max(t2.server_makespan_secs);
             self.tier2_secs += extended - stats.makespan_secs;
             stats.makespan_secs = extended;

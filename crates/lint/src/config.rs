@@ -42,6 +42,10 @@ impl Config {
                 "crates/balance/src/maxfind.rs".into(),
                 "crates/fed/src/runtime.rs".into(),
                 "crates/sim/src/profile.rs".into(),
+                // PR 10: retry/backoff delays are fixed-point µs end to
+                // end; a narrowing cast here would corrupt the recovery
+                // schedule's determinism contract.
+                "crates/sim/src/fault.rs".into(),
             ],
         }
     }

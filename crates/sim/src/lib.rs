@@ -37,6 +37,13 @@
 //!   [`Scenario::MobileFleet`], [`Scenario::StragglerTail`],
 //!   [`Scenario::Churn`]) and the round-to-round fleet evolution
 //!   ([`ScenarioState`]) including dropout/rejoin.
+//! * [`fault`] — seeded fault injection and recovery: [`FaultSpec`]
+//!   (mid-round crashes, message loss/duplication, aggregator outage
+//!   windows) and [`RecoveryPolicy`] (timeout, exponential backoff with
+//!   seeded jitter, retry budget) compiled by [`FaultState`] into a
+//!   per-round [`FaultPlan`] the [`EventDrivenRuntime`] prices as
+//!   [`SimEvent::Crashed`]/[`SimEvent::Lost`]/[`SimEvent::RetryDue`]
+//!   events under the same total order.
 //!
 //! Everything is a pure function of the seed: same seed + same scenario ⇒
 //! bit-identical makespans and straggler sequences (asserted by
@@ -44,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 pub mod epoch;
+pub mod fault;
 pub mod policy;
 pub mod profile;
 pub mod queue;
@@ -51,6 +59,10 @@ pub mod runtime;
 pub mod scenario;
 
 pub use epoch::{simulate_epoch, DeviceWork, EpochStats, Inbound, SERVER_SENDER};
+pub use fault::{
+    FaultCounters, FaultPlan, FaultSpec, FaultState, OutageWindow, RecoveryPolicy, SendFaults,
+    HARD_RETRY_CAP,
+};
 pub use policy::{AggregationPolicy, RoundPolicy, StalenessBuffer, STALENESS_CAP};
 pub use profile::{DeviceProfile, FleetSpec, Heterogeneity};
 pub use queue::{EventQueue, TieBreak, VirtualTime};

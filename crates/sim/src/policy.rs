@@ -364,16 +364,25 @@ impl RoundPolicy {
             }
             AggregationPolicy::Async { min_updates } => {
                 let landed = landing_order(&planned);
-                if landed.len() <= min_updates {
+                if min_updates >= planned.len() || landed.is_empty() {
+                    // A quorum of the whole fleet *is* the synchronous
+                    // barrier (the collapse `resolve` performs up front) —
+                    // drains included, so the round stays bit-identical to
+                    // `FullSync`.
                     RoundMode::Barrier
                 } else {
+                    // Churn can leave fewer live landings than the
+                    // configured quorum; clamping to the live fleet closes
+                    // the round at the last landing instead of deadlocking
+                    // on updates that can never arrive.
+                    let quorum = min_updates.min(landed.len());
                     let mut awaiting = vec![false; planned.len()];
-                    for &(_, d) in &landed[..min_updates] {
+                    for &(_, d) in &landed[..quorum] {
                         awaiting[d as usize] = true;
                     }
                     RoundMode::Quorum {
                         awaiting,
-                        remaining: min_updates,
+                        remaining: quorum,
                         late: async_overflow(min_updates, &planned),
                     }
                 }
@@ -397,7 +406,14 @@ impl RoundPolicy {
         let landing = match ev {
             SimEvent::Delivered(_) => self.planned[d].is_some() && self.burst[d],
             SimEvent::ComputeDone(_) => self.planned[d].is_some() && !self.burst[d],
-            SimEvent::Arrived { .. } | SimEvent::InboxDrained(_) => false,
+            // Fault events are never landings: a crashed or exhausted
+            // device has `planned[d] == None` and is handled by the
+            // recovery layer (staleness buffer), not the round policy.
+            SimEvent::Arrived { .. }
+            | SimEvent::InboxDrained(_)
+            | SimEvent::Crashed(_)
+            | SimEvent::Lost(_)
+            | SimEvent::RetryDue(_) => false,
         };
         if !landing {
             return Control::Continue;
@@ -797,6 +813,52 @@ mod tests {
             full.makespan_secs
         );
         assert_eq!(round.verdicts(), vec![(3, 1)], "the straggler is carried");
+    }
+
+    #[test]
+    fn churn_shrunk_async_quorum_clamps_to_the_live_fleet() {
+        // Regression: a quorum of 4 with only 2 live devices used to fall
+        // back to the full barrier — waiting on updates that can never
+        // arrive this round. The clamp closes the round at the last live
+        // landing instead.
+        use crate::epoch::Inbound;
+        let mut profiles = vec![DeviceProfile::baseline(); 6];
+        for p in &mut profiles[2..] {
+            p.available = false;
+        }
+        let w: Vec<DeviceWork> = (0..6u32)
+            .map(|d| DeviceWork {
+                compute_units: 100.0 + 10.0 * d as f64,
+                messages_out: 1,
+                bytes_out: 64,
+                inbound: Inbound::PerSender(vec![((d + 1) % 6, 64)]),
+            })
+            .collect();
+        let full = EventDrivenRuntime::new(&profiles, &w).run(|_, _| Control::Continue);
+        let schedule = EventDrivenRuntime::new(&profiles, &w);
+        let mut landings: Vec<f64> = schedule
+            .update_delivery_secs()
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        landings.sort_by(f64::total_cmp);
+        assert_eq!(landings.len(), 2, "only the live devices land");
+        let mut round = RoundPolicy::new(&AggregationPolicy::Async { min_updates: 4 }, &schedule);
+        let stats = schedule.run(|t, ev| round.on_event(t, ev));
+        assert_eq!(
+            stats.makespan_secs.to_bits(),
+            landings[1].to_bits(),
+            "the clamped quorum closes at the last live landing"
+        );
+        assert!(
+            stats.makespan_secs < full.makespan_secs,
+            "closing early must beat the drain barrier"
+        );
+        assert!(
+            round.verdicts().is_empty(),
+            "every live update made the clamped quorum"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! handler does not change *when* things happen — it changes what the
 //! round does about them: pool now, buffer, drop, or close.
 
+use std::collections::BTreeMap;
+
 use crate::epoch::{DeviceWork, EpochStats, Inbound, SERVER_SENDER};
+use crate::fault::{us_to_secs, FaultPlan};
 use crate::profile::DeviceProfile;
 use crate::queue::{EventQueue, TieBreak, VirtualTime};
 
@@ -42,27 +45,46 @@ pub enum SimEvent {
     },
     /// All inbound payload drained through the downlink.
     InboxDrained(u32),
+    /// The device crashed mid-round: its compute never finishes and its
+    /// update never ships this round (injected by a [`FaultPlan`]).
+    Crashed(u32),
+    /// One send attempt (the device's update upload, or one cross edge of
+    /// its burst) was lost in transit; fires at the attempt's would-be
+    /// landing time.
+    Lost(u32),
+    /// The sender's recovery timer expired: timeout + backoff + jitter
+    /// elapsed after a loss, and the retry dispatches now.
+    RetryDue(u32),
 }
 
 impl SimEvent {
     /// The device this event is attributed to ([`SimEvent::Arrived`] is
-    /// attributed to its sender, whose burst it closes).
+    /// attributed to its sender, whose burst it closes; fault events to
+    /// the crashed device or the sender retrying).
     pub fn device(&self) -> u32 {
         match *self {
-            SimEvent::ComputeDone(d) | SimEvent::Delivered(d) | SimEvent::InboxDrained(d) => d,
+            SimEvent::ComputeDone(d)
+            | SimEvent::Delivered(d)
+            | SimEvent::InboxDrained(d)
+            | SimEvent::Crashed(d)
+            | SimEvent::Lost(d)
+            | SimEvent::RetryDue(d) => d,
             SimEvent::Arrived { from, .. } => from,
         }
     }
 
     /// Rank used to order simultaneous events of different kinds: compute
-    /// completions first, then burst deliveries, per-edge arrivals, and
-    /// inbox drains.
+    /// completions first, then burst deliveries, per-edge arrivals, inbox
+    /// drains, and finally the fault/recovery events.
     fn kind_rank(&self) -> u8 {
         match self {
             SimEvent::ComputeDone(_) => 0,
             SimEvent::Delivered(_) => 1,
             SimEvent::Arrived { .. } => 2,
             SimEvent::InboxDrained(_) => 3,
+            SimEvent::Crashed(_) => 4,
+            SimEvent::Lost(_) => 5,
+            SimEvent::RetryDue(_) => 6,
         }
     }
 }
@@ -102,6 +124,11 @@ pub struct EventDrivenRuntime {
     bursts: Vec<bool>,
     available: Vec<bool>,
     active: usize,
+    /// Actual arrival time of cross edges the fault plan delayed with
+    /// retries; edges absent from the map arrive at the sender's burst
+    /// delivery, exactly as in a fault-free schedule. Empty without a
+    /// plan, so the default path never pays a lookup.
+    edge_arrivals: BTreeMap<(u32, u32), VirtualTime>,
 }
 
 impl EventDrivenRuntime {
@@ -116,11 +143,56 @@ impl EventDrivenRuntime {
     /// # Panics
     /// Panics if `profiles` and `work` have different lengths.
     pub fn new(profiles: &[DeviceProfile], work: &[DeviceWork]) -> Self {
+        Self::new_with_faults(profiles, work, None)
+    }
+
+    /// [`EventDrivenRuntime::new`] with a compiled [`FaultPlan`] folded
+    /// into the schedule. `None` (or a clean plan) takes the exact same
+    /// code path as `new` — same float operations in the same order — so
+    /// the fault-free schedule stays bit-identical to the seed's.
+    ///
+    /// Fault semantics, all priced statically so every consequence is an
+    /// event under the existing total order:
+    ///
+    /// - **Crash**: the device stops at `crash_frac × compute_end`. A
+    ///   [`SimEvent::Crashed`] fires there instead of its `ComputeDone`;
+    ///   it ships nothing, lands nothing, and receivers treat its payload
+    ///   as staged (the absent-sender rule).
+    /// - **Lost upload**: each lost attempt fires [`SimEvent::Lost`] at
+    ///   its would-be landing; the retry fires [`SimEvent::RetryDue`]
+    ///   after the recovery policy's timeout + backoff + jitter, then
+    ///   re-serializes the upload (upload + latency again). A recovered
+    ///   update lands — `Delivered`, arrivals, and the policies' landing
+    ///   signal all move to the final attempt. An exhausted send fires a
+    ///   final `Lost` and never lands: its delivery is `None`, and the
+    ///   caller degrades it into the staleness buffer.
+    /// - **Lost cross edge**: same loss/retry stream per `(from, to)`
+    ///   edge, except a retry only re-pays the recovery delay (the burst
+    ///   stays queued at the relay; no re-serialization). The receiver's
+    ///   drain waits for the delayed arrival; a dead edge contributes
+    ///   nothing and its `Arrived` is never scheduled.
+    ///
+    /// # Panics
+    /// Panics if `profiles` and `work` have different lengths, or if the
+    /// plan was compiled for a different fleet size.
+    pub fn new_with_faults(
+        profiles: &[DeviceProfile],
+        work: &[DeviceWork],
+        plan: Option<&FaultPlan>,
+    ) -> Self {
         assert_eq!(
             profiles.len(),
             work.len(),
             "one workload entry per device profile"
         );
+        let faults = plan.filter(|p| !p.is_clean());
+        if let Some(f) = faults {
+            assert_eq!(
+                f.num_devices(),
+                profiles.len(),
+                "fault plan compiled for a different fleet size"
+            );
+        }
         let n = profiles.len();
         let mut queue: EventQueue<SimEvent> = EventQueue::new();
         let mut busy = vec![0.0f64; n];
@@ -143,6 +215,16 @@ impl EventDrivenRuntime {
             }
             p.validate();
             let compute_end = VirtualTime::new(p.compute_secs(w.compute_units));
+            if let Some(frac) = faults.and_then(|f| f.crash_frac(d)) {
+                // Mid-round crash: the device dies a fraction into its
+                // compute span. Nothing downstream of its ComputeDone is
+                // scheduled, and its only cost this round is the work it
+                // burned before dying.
+                let crash = VirtualTime::new(compute_end.secs() * frac);
+                queue.push(crash, SimEvent::Crashed(d as u32));
+                busy[d] = crash.secs();
+                continue;
+            }
             queue.push(compute_end, SimEvent::ComputeDone(d as u32));
             let upload = p.upload_secs(w.bytes_out);
             let download = p.download_secs(w.bytes_in());
@@ -169,6 +251,38 @@ impl EventDrivenRuntime {
             } else {
                 compute_end.secs()
             };
+            if !burst {
+                continue;
+            }
+            let Some(send) = faults.and_then(|f| f.upload(d)) else {
+                continue;
+            };
+            // Lost upload: walk the retry chain. Attempt i's would-be
+            // landing is `landing`; each retry waits the recovery delay,
+            // then re-serializes the burst (upload + latency again).
+            let mut landing = barrier_d;
+            for &delay_us in &send.retry_delays_us {
+                queue.push(landing, SimEvent::Lost(d as u32));
+                let due = landing.after(us_to_secs(delay_us));
+                queue.push(due, SimEvent::RetryDue(d as u32));
+                landing = due.after(upload).after(p.latency_secs);
+            }
+            // Each retry re-pays the upload's serialization (the timeout
+            // and backoff in between are idle waiting, not busy time).
+            busy[d] += send.retries() as f64 * upload;
+            barrier[d] = Some(landing);
+            if send.exhausted {
+                // The final attempt is lost too: the update never lands
+                // this round. Its own drain still runs (the device is
+                // alive), but policies see no delivery — the caller
+                // degrades the update into the staleness buffer.
+                queue.push(landing, SimEvent::Lost(d as u32));
+                delivered[d] = None;
+                update_delivery[d] = None;
+            } else {
+                delivered[d] = Some(landing);
+                update_delivery[d] = Some(landing.secs());
+            }
         }
 
         // Per-destination pass: each scheduled receiver's drain start is
@@ -177,6 +291,10 @@ impl EventDrivenRuntime {
         // events.
         let mut drain_end: Vec<Option<VirtualTime>> = vec![None; n];
         let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Live faulted edges land later than the sender's burst; dead ones
+        // (retry budget exhausted) never land at all.
+        let mut edge_arrivals: BTreeMap<(u32, u32), VirtualTime> = BTreeMap::new();
+        let mut dead_edges: BTreeMap<(u32, u32), ()> = BTreeMap::new();
         for (d, w) in work.iter().enumerate() {
             let Some(own_barrier) = barrier[d] else {
                 continue;
@@ -196,8 +314,38 @@ impl EventDrivenRuntime {
                         // round on a device the round skipped).
                         continue;
                     };
-                    if t > start {
-                        start = t;
+                    let key = (s, d as u32);
+                    let mut arrive = t;
+                    if let Some(ef) = faults.and_then(|f| f.edge(s, d as u32)) {
+                        if dead_edges.contains_key(&key) {
+                            continue;
+                        }
+                        arrive = match edge_arrivals.get(&key) {
+                            Some(&a) => a,
+                            None => {
+                                // First occurrence of this edge: schedule
+                                // its loss/retry stream. A retry only
+                                // re-pays the recovery delay — the burst
+                                // stays queued at the relay.
+                                let mut landing = t;
+                                for &delay_us in &ef.retry_delays_us {
+                                    queue.push(landing, SimEvent::Lost(s));
+                                    let due = landing.after(us_to_secs(delay_us));
+                                    queue.push(due, SimEvent::RetryDue(s));
+                                    landing = due;
+                                }
+                                if ef.exhausted {
+                                    queue.push(landing, SimEvent::Lost(s));
+                                    dead_edges.insert(key, ());
+                                    continue;
+                                }
+                                edge_arrivals.insert(key, landing);
+                                landing
+                            }
+                        };
+                    }
+                    if arrive > start {
+                        start = arrive;
                     }
                     // A sender repeated in the ledger list contributes one
                     // delivery edge, not one per occurrence: within this
@@ -222,6 +370,7 @@ impl EventDrivenRuntime {
             bursts,
             available: profiles.iter().map(|p| p.available).collect(),
             active,
+            edge_arrivals,
         }
     }
 
@@ -276,7 +425,15 @@ impl EventDrivenRuntime {
                 if let Some(time) = self.delivered[d] {
                     self.queue.push(time, SimEvent::Delivered(dev));
                     for &to in &self.out_edges[d] {
-                        self.queue.push(time, SimEvent::Arrived { from: dev, to });
+                        // A fault-delayed edge arrives at its retried
+                        // landing; every other edge at the burst delivery
+                        // (the map is empty without a fault plan).
+                        let at = if self.edge_arrivals.is_empty() {
+                            time
+                        } else {
+                            self.edge_arrivals.get(&(dev, to)).copied().unwrap_or(time)
+                        };
+                        self.queue.push(at, SimEvent::Arrived { from: dev, to });
                     }
                 }
                 // Downlink: the drain end was priced in the per-destination
@@ -423,6 +580,218 @@ mod tests {
             Control::Continue
         });
         assert_eq!(arrivals, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn a_none_plan_is_the_unfaulted_schedule_bitwise() {
+        use crate::fault::{FaultSpec, FaultState, RecoveryPolicy};
+        let mut profiles = vec![DeviceProfile::baseline(); 4];
+        profiles[2].compute_rate /= 3.0;
+        let work: Vec<DeviceWork> = (0..4u32)
+            .map(|i| DeviceWork {
+                compute_units: 60.0 * (i + 1) as f64,
+                messages_out: 1,
+                bytes_out: 64,
+                inbound: Inbound::PerSender(vec![((i + 1) % 4, 32)]),
+            })
+            .collect();
+        let mut st = FaultState::new(FaultSpec::None, RecoveryPolicy::default(), 3);
+        let plan = st.compile_round(&profiles);
+        let clean = EventDrivenRuntime::new(&profiles, &work).run(|_, _| Control::Continue);
+        let planned = EventDrivenRuntime::new_with_faults(&profiles, &work, Some(&plan))
+            .run(|_, _| Control::Continue);
+        assert_eq!(clean, planned);
+    }
+
+    #[test]
+    fn a_crash_replaces_the_device_chain_with_one_event() {
+        use crate::fault::{FaultSpec, FaultState, RecoveryPolicy};
+        let profiles = vec![DeviceProfile::baseline(); 2];
+        let work = vec![burst_work(100.0), burst_work(100.0)];
+        let mut st = FaultState::new(
+            FaultSpec::Faults {
+                crash_rate: 1.0,
+                loss_rate: 0.0,
+                duplicate_rate: 0.0,
+                outages: Vec::new(),
+            },
+            RecoveryPolicy::default(),
+            7,
+        );
+        let plan = st.compile_round(&profiles);
+        let rt = EventDrivenRuntime::new_with_faults(&profiles, &work, Some(&plan));
+        assert_eq!(rt.update_delivery_secs(), &[None, None]);
+        let mut seen = Vec::new();
+        let stats = rt.run(|t, ev| {
+            seen.push((t.secs(), *ev));
+            Control::Continue
+        });
+        assert_eq!(seen.len(), 2, "one Crashed per device, nothing else");
+        for &(t, ev) in &seen {
+            let SimEvent::Crashed(dev) = ev else {
+                panic!("unexpected event {ev:?}");
+            };
+            let d = dev as usize;
+            let frac = plan.crash_frac(d).unwrap();
+            let compute = profiles[d].compute_secs(100.0);
+            assert_eq!(t.to_bits(), (compute * frac).to_bits());
+            assert_eq!(stats.busy_secs[d].to_bits(), t.to_bits());
+        }
+        assert_eq!(stats.active_devices, 2, "a crashed device still counts");
+    }
+
+    #[test]
+    fn a_recovered_upload_lands_at_the_final_retry() {
+        use crate::fault::{FaultSpec, FaultState, RecoveryPolicy, SendFaults};
+        let profiles = vec![DeviceProfile::baseline(); 1];
+        let work = vec![burst_work(100.0)];
+        // Find a seed whose single-device round has >= 1 retry that still
+        // recovers (loss 0.5 with a budget of 8 recovers almost surely).
+        let recovery = RecoveryPolicy {
+            timeout_us: 2_000_000,
+            backoff_base_us: 1_000_000,
+            jitter_us: 500_000,
+            retry_budget: 8,
+        };
+        let (plan, send) = (0u64..64)
+            .find_map(|seed| {
+                let mut st = FaultState::new(FaultSpec::message_loss(0.5), recovery, seed);
+                let plan = st.compile_round(&profiles);
+                let send: Option<SendFaults> = plan.upload(0).cloned();
+                send.filter(|s| !s.exhausted && s.retries() >= 1)
+                    .map(|s| (plan, s))
+            })
+            .expect("some seed recovers after at least one retry");
+        let clean = EventDrivenRuntime::new(&profiles, &work);
+        let first_landing = clean.update_delivery_secs()[0].unwrap();
+        let rt = EventDrivenRuntime::new_with_faults(&profiles, &work, Some(&plan));
+        let landed = rt.update_delivery_secs()[0].unwrap();
+        // Each retry adds its recovery delay plus a full re-serialization.
+        let p = &profiles[0];
+        let mut expect = first_landing;
+        for &delay_us in &send.retry_delays_us {
+            expect =
+                (expect + crate::fault::us_to_secs(delay_us) + p.upload_secs(100)) + p.latency_secs;
+        }
+        assert_eq!(landed.to_bits(), expect.to_bits());
+        let mut lost = 0u32;
+        let mut retries = 0u32;
+        let stats = rt.run(|_, ev| {
+            match ev {
+                SimEvent::Lost(0) => lost += 1,
+                SimEvent::RetryDue(0) => retries += 1,
+                _ => {}
+            }
+            Control::Continue
+        });
+        assert_eq!(u64::from(lost), send.lost_attempts());
+        assert_eq!(u64::from(retries), send.retries());
+        assert_eq!(stats.update_delivery_secs[0], Some(landed));
+        assert!(stats.makespan_secs >= landed);
+        assert!(stats.idle_secs[0] >= 0.0);
+    }
+
+    #[test]
+    fn an_exhausted_upload_never_lands_but_still_terminates() {
+        use crate::fault::{FaultSpec, FaultState, RecoveryPolicy, HARD_RETRY_CAP};
+        let profiles = vec![DeviceProfile::baseline(); 2];
+        let work = vec![burst_work(100.0), burst_work(100.0)];
+        let mut st = FaultState::new(
+            FaultSpec::message_loss(1.0),
+            RecoveryPolicy {
+                retry_budget: u32::MAX,
+                ..RecoveryPolicy::default()
+            },
+            11,
+        );
+        let plan = st.compile_round(&profiles);
+        let rt = EventDrivenRuntime::new_with_faults(&profiles, &work, Some(&plan));
+        assert_eq!(
+            rt.update_delivery_secs(),
+            &[None, None],
+            "exhausted sends never land"
+        );
+        let mut lost = 0u64;
+        let stats = rt.run(|_, ev| {
+            if matches!(ev, SimEvent::Lost(_)) {
+                lost += 1;
+            }
+            Control::Continue
+        });
+        // Budget capped at HARD_RETRY_CAP: per device, CAP retries plus the
+        // final lost attempt.
+        assert_eq!(lost, 2 * (u64::from(HARD_RETRY_CAP) + 1));
+        assert!(stats.makespan_secs.is_finite());
+        for d in 0..2 {
+            assert!(stats.idle_secs[d] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn a_dead_cross_edge_never_arrives_and_a_delayed_one_arrives_late() {
+        use crate::fault::{FaultSpec, FaultState, RecoveryPolicy};
+        // Device 0 receives from 1; the 1 -> 0 edge is exhausted under
+        // total loss, so no Arrived fires and 0's drain starts at its own
+        // barrier.
+        let profiles = vec![DeviceProfile::baseline(); 2];
+        let work = vec![
+            DeviceWork {
+                compute_units: 100.0,
+                messages_out: 1,
+                bytes_out: 64,
+                inbound: Inbound::PerSender(vec![(1, 64)]),
+            },
+            burst_work(100.0),
+        ];
+        let mut st = FaultState::new(FaultSpec::None, RecoveryPolicy::default(), 5);
+        let clean_plan = st.compile_round_with_edges(&profiles, &[(1, 0)]);
+        assert!(clean_plan.is_clean());
+
+        let mut st = FaultState::new(FaultSpec::message_loss(1.0), RecoveryPolicy::default(), 5);
+        let plan = st.compile_round_with_edges(&profiles, &[(1, 0)]);
+        assert!(plan.edge(1, 0).unwrap().exhausted);
+        let mut arrivals = Vec::new();
+        let stats =
+            EventDrivenRuntime::new_with_faults(&profiles, &work, Some(&plan)).run(|_, ev| {
+                if let SimEvent::Arrived { from, to } = *ev {
+                    arrivals.push((from, to));
+                }
+                Control::Continue
+            });
+        assert!(arrivals.is_empty(), "a dead edge never arrives");
+        assert!(stats.makespan_secs.is_finite());
+    }
+
+    #[test]
+    fn fault_events_respect_the_total_order() {
+        use crate::fault::{FaultSpec, FaultState, RecoveryPolicy};
+        let profiles = vec![DeviceProfile::baseline(); 6];
+        let work: Vec<DeviceWork> = (0..6).map(|_| burst_work(100.0)).collect();
+        let mut st = FaultState::new(
+            FaultSpec::Faults {
+                crash_rate: 0.3,
+                loss_rate: 0.4,
+                duplicate_rate: 0.0,
+                outages: Vec::new(),
+            },
+            RecoveryPolicy::default(),
+            13,
+        );
+        let plan = st.compile_round(&profiles);
+        let mut last = VirtualTime::ZERO;
+        let mut fault_events = 0u64;
+        EventDrivenRuntime::new_with_faults(&profiles, &work, Some(&plan)).run(|t, ev| {
+            assert!(t >= last, "time went backwards at {ev:?}");
+            if matches!(
+                ev,
+                SimEvent::Crashed(_) | SimEvent::Lost(_) | SimEvent::RetryDue(_)
+            ) {
+                fault_events += 1;
+            }
+            last = t;
+            Control::Continue
+        });
+        assert!(fault_events > 0, "seeded faults must surface as events");
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   [`EpochStats`](lumos_sim::EpochStats): an aggregator's partial is
 //!   ready when its slowest member's update lands, then pays the
 //!   aggregator's own uplink + latency to reach the server.
+//! - [`Topology::failover_map`] + [`tier_timing_failover`] — aggregator
+//!   outage recovery: an outaged shard re-homes to its deterministic
+//!   cyclic successor, which folds the orphaned members into its own
+//!   readiness and ships one merged partial. The identity map reproduces
+//!   [`tier_timing`] bit for bit.
 //!
 //! Everything here is pure data + arithmetic over `lumos-sim` types, so
 //! `fed` and `core` can both depend on it without cycles.
@@ -41,5 +46,5 @@ pub mod topology;
 pub use config::TopologyConfig;
 pub use policy::{shard_late_with_staleness, ShardRoundPolicies};
 pub use pooling::{pool_flat, pool_tiered};
-pub use timing::{tier_timing, TierTiming};
+pub use timing::{tier_timing, tier_timing_failover, TierTiming};
 pub use topology::Topology;

@@ -63,6 +63,74 @@ pub fn tier_timing(
     }
 }
 
+/// [`tier_timing`] under an aggregator failover: `rehome[k]` is the
+/// aggregator actually serving shard `k` this round (the output of
+/// [`Topology::failover_map`]). Members of a re-homed shard fold into
+/// their *target* aggregator's readiness, the target pays one hop for its
+/// merged partial, and the outaged aggregator itself delivers nothing.
+/// With the identity map this is `tier_timing` exactly — same folds in
+/// the same shard order, so the no-failover round stays bit-identical.
+///
+/// # Panics
+/// Panics on a fleet-size mismatch, a `rehome` map of the wrong length,
+/// or a map that routes a shard to an aggregator that is itself re-homed
+/// elsewhere (the successor must be healthy).
+pub fn tier_timing_failover(
+    stats: &EpochStats,
+    topo: &Topology,
+    aggregator: &DeviceProfile,
+    partial_bytes: u64,
+    rehome: &[u32],
+) -> TierTiming {
+    assert_eq!(
+        stats.update_delivery_secs.len(),
+        topo.num_devices(),
+        "topology and epoch stats disagree on fleet size"
+    );
+    assert_eq!(
+        rehome.len(),
+        topo.num_aggregators(),
+        "failover map and topology disagree on aggregator count"
+    );
+    let hop = aggregator.upload_secs(partial_bytes) + aggregator.latency_secs;
+    // Fold each shard's members into the aggregator that actually serves
+    // it; shards are visited in order, so a target's readiness is the max
+    // over its own members and every shard re-homed onto it.
+    let mut ready: Vec<Option<f64>> = vec![None; topo.num_aggregators()];
+    for (shard, range) in topo.ranges() {
+        let target = rehome[shard] as usize;
+        assert_eq!(
+            rehome[target] as usize, target,
+            "shard {shard} re-homed to aggregator {target}, which is itself down"
+        );
+        let lo = range.start as usize;
+        let hi = range.end as usize;
+        ready[target] = stats.update_delivery_secs[lo..hi]
+            .iter()
+            .flatten()
+            .fold(ready[target], |acc, &t| Some(acc.map_or(t, |a| a.max(t))));
+    }
+    let mut deliveries = Vec::with_capacity(topo.num_aggregators());
+    let mut makespan = 0.0f64;
+    for (shard, r) in ready.into_iter().enumerate() {
+        // An outaged aggregator (re-homed elsewhere) never uploads, even
+        // if a stray fold landed on it.
+        let delivery = if rehome[shard] as usize == shard {
+            r.map(|t| t + hop)
+        } else {
+            None
+        };
+        if let Some(t) = delivery {
+            makespan = makespan.max(t);
+        }
+        deliveries.push(delivery);
+    }
+    TierTiming {
+        aggregator_delivery_secs: deliveries,
+        server_makespan_secs: makespan,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +178,50 @@ mod tests {
         let t = tier_timing(&s, &topo, &DeviceProfile::baseline(), 64);
         assert_eq!(t.server_makespan_secs, 0.0);
         assert!(t.aggregator_delivery_secs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn identity_failover_is_tier_timing_bitwise() {
+        let s = stats(vec![
+            Some(1.0),
+            Some(5.0),
+            Some(2.0),
+            Some(3.0),
+            None,
+            Some(4.0),
+        ]);
+        let topo = Topology::contiguous(6, 3);
+        let agg = DeviceProfile::baseline();
+        let identity = topo.failover_map(&[]);
+        assert_eq!(
+            tier_timing_failover(&s, &topo, &agg, 64, &identity),
+            tier_timing(&s, &topo, &agg, 64)
+        );
+    }
+
+    #[test]
+    fn failover_folds_the_outaged_shard_into_its_successor() {
+        let s = stats(vec![Some(1.0), Some(5.0), Some(2.0), Some(3.0)]);
+        let topo = Topology::contiguous(4, 2);
+        let agg = DeviceProfile::baseline();
+        let hop = agg.upload_secs(64) + agg.latency_secs;
+        // Aggregator 0 is down: its members (deliveries 1.0, 5.0) re-home
+        // to aggregator 1, which now waits for the merged slowest member.
+        let t = tier_timing_failover(&s, &topo, &agg, 64, &topo.failover_map(&[0]));
+        assert_eq!(
+            t.aggregator_delivery_secs[0], None,
+            "down aggregator is silent"
+        );
+        assert_eq!(t.aggregator_delivery_secs[1], Some(5.0 + hop));
+        assert_eq!(t.server_makespan_secs, 5.0 + hop);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself down")]
+    fn rehoming_onto_a_down_aggregator_panics() {
+        let s = stats(vec![Some(1.0), Some(2.0)]);
+        let topo = Topology::contiguous(2, 2);
+        // 0 -> 1 but 1 -> 0: both routes point at a re-homed aggregator.
+        tier_timing_failover(&s, &topo, &DeviceProfile::baseline(), 64, &[1, 0]);
     }
 }

@@ -155,6 +155,38 @@ impl Topology {
     pub fn ranges(&self) -> impl Iterator<Item = (usize, std::ops::Range<u32>)> + '_ {
         (0..self.num_aggregators()).map(|k| (k, self.members(k)))
     }
+
+    /// The deterministic failover map for a set of outaged aggregators:
+    /// `map[k]` is the aggregator actually serving shard `k` this round.
+    /// A healthy shard serves itself; an outaged shard re-homes to the
+    /// next healthy aggregator cyclically (`k+1, k+2, …` mod K) — the
+    /// successor rule is a pure function of the topology, so every
+    /// replica of the run re-homes identically without coordination.
+    ///
+    /// When *every* aggregator is down there is no healthy successor;
+    /// the map degenerates to the identity (no failover — the round
+    /// proceeds as if unaided, rather than inventing a survivor).
+    pub fn failover_map(&self, outaged: &[u32]) -> Vec<u32> {
+        let k = self.num_aggregators();
+        let mut down = vec![false; k];
+        for &a in outaged {
+            if let Some(slot) = down.get_mut(a as usize) {
+                *slot = true;
+            }
+        }
+        if down.iter().all(|&d| d) {
+            return (0..k as u32).collect();
+        }
+        (0..k)
+            .map(|shard| {
+                let mut target = shard;
+                while down[target] {
+                    target = (target + 1) % k;
+                }
+                target as u32
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +264,24 @@ mod tests {
     #[should_panic(expected = "more aggregators")]
     fn more_shards_than_devices_panics() {
         Topology::contiguous(2, 3);
+    }
+
+    #[test]
+    fn failover_maps_outaged_shards_to_the_cyclic_successor() {
+        let t = Topology::contiguous(12, 4);
+        assert_eq!(t.failover_map(&[]), vec![0, 1, 2, 3]);
+        assert_eq!(t.failover_map(&[1]), vec![0, 2, 2, 3]);
+        // Adjacent outages chain to the same survivor; the wrap-around
+        // outage re-homes to the front.
+        assert_eq!(t.failover_map(&[1, 2]), vec![0, 3, 3, 3]);
+        assert_eq!(t.failover_map(&[3]), vec![0, 1, 2, 0]);
+        // Out-of-range aggregators are ignored.
+        assert_eq!(t.failover_map(&[9]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn total_outage_degenerates_to_identity() {
+        let t = Topology::contiguous(6, 3);
+        assert_eq!(t.failover_map(&[0, 1, 2]), vec![0, 1, 2]);
     }
 }

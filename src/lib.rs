@@ -14,3 +14,4 @@ pub use lumos_graph as graph;
 pub use lumos_ldp as ldp;
 pub use lumos_sim as sim;
 pub use lumos_tensor as tensor;
+pub use lumos_topo as topo;
